@@ -1,0 +1,23 @@
+//! Reproduces **Table II**: average/best cut and running time of the
+//! ParMetis-like baseline vs ParHIP fast vs ParHIP eco for bipartitioning
+//! (k = 2) across the benchmark set, including the large web graphs the
+//! baseline fails on.
+//!
+//! Usage: `cargo run -p bench --release --bin table2 -- [tier=small] [reps=3] [p=4] [seed=1]`
+
+use bench::harness::{parse_tier, render_quality_table, run_quality_table};
+use bench::{arg, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tier = parse_tier(arg(&args, "tier"));
+    let reps = arg_usize(&args, "reps", 3);
+    let p = arg_usize(&args, "p", 4);
+    let seed = arg_usize(&args, "seed", 1) as u64;
+    let results = run_quality_table(2, tier, reps, p, seed, true);
+    render_quality_table(
+        &results,
+        &format!("Table II stand-in: k = 2, p = {p}, {reps} reps"),
+        "table2",
+    );
+}

@@ -1,0 +1,20 @@
+//! Reproduces **Table III**: the same comparison as Table II for k = 32.
+//!
+//! Usage: `cargo run -p bench --release --bin table3 -- [tier=small] [reps=3] [p=4] [seed=1]`
+
+use bench::harness::{parse_tier, render_quality_table, run_quality_table};
+use bench::{arg, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tier = parse_tier(arg(&args, "tier"));
+    let reps = arg_usize(&args, "reps", 3);
+    let p = arg_usize(&args, "p", 4);
+    let seed = arg_usize(&args, "seed", 1) as u64;
+    let results = run_quality_table(32, tier, reps, p, seed, true);
+    render_quality_table(
+        &results,
+        &format!("Table III stand-in: k = 32, p = {p}, {reps} reps"),
+        "table3",
+    );
+}

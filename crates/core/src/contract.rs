@@ -1,0 +1,355 @@
+//! Parallel contraction and uncoarsening (Section IV-C).
+//!
+//! Cluster IDs after label propagation are arbitrarily distributed in
+//! `0..n`. The contraction algorithm:
+//!
+//! 1. Every PE sends the distinct cluster IDs of its local nodes to the
+//!    PE *responsible* for that ID range (`Ip` intervals).
+//! 2. Responsible PEs count their distinct IDs; a prefix sum (`exscan`)
+//!    over those counts yields the renumbering `q` onto a contiguous
+//!    interval, and a reduction yields the coarse node count `n'`.
+//! 3. PEs query `q` for every cluster ID they hold (their own nodes' and
+//!    their ghosts'), which gives the fine→coarse mapping `C`.
+//! 4. Each PE builds its local weighted quotient arcs by hashing and sends
+//!    each arc `(cu, cv, w)` — and each node-weight contribution — to the
+//!    PE owning `cu` in the coarse block distribution.
+//! 5. Owners aggregate and assemble their coarse subgraph.
+//!
+//! Uncoarsening answers "which block is my coarse representative in" with
+//! one query/answer `alltoallv` round-trip, also per the paper.
+
+use pgp_dmp::collectives::{allreduce_sum, alltoallv, exscan_sum};
+use pgp_dmp::dgraph::BlockDist;
+use pgp_dmp::{Comm, DistGraph};
+use pgp_graph::{Node, Weight};
+use std::collections::HashMap;
+
+/// Result of one parallel contraction step, from one PE's perspective.
+pub struct ParContraction {
+    /// The coarse distributed graph (this PE's part).
+    pub coarse: DistGraph,
+    /// `mapping[l] = global coarse node of fine local node l` — covers
+    /// owned *and* ghost fine nodes (the paper propagates the mapping of
+    /// ghosts from their owners; here it follows from ghost labels).
+    pub mapping: Vec<Node>,
+}
+
+/// Generic owner lookup: resolves `value_of(local_index)` on the owner of
+/// each queried global ID. `queries` may contain duplicates; the result is
+/// aligned with `queries`.
+pub fn query_owner_values<T: Clone + Send + 'static>(
+    comm: &Comm,
+    dist: BlockDist,
+    queries: &[Node],
+    value_of: impl Fn(usize) -> T,
+) -> Vec<T> {
+    let p = comm.size();
+    let mut buckets: Vec<Vec<Node>> = vec![Vec::new(); p];
+    let mut origin: Vec<(usize, usize)> = Vec::with_capacity(queries.len());
+    for &g in queries {
+        let owner = dist.owner(g);
+        origin.push((owner, buckets[owner].len()));
+        buckets[owner].push(g);
+    }
+    let incoming = alltoallv(comm, buckets);
+    let answers: Vec<Vec<T>> = incoming
+        .into_iter()
+        .map(|qs| {
+            qs.into_iter()
+                .map(|g| {
+                    let first = dist.first(comm.rank());
+                    value_of((g as u64 - first) as usize)
+                })
+                .collect()
+        })
+        .collect();
+    let replies = alltoallv(comm, answers);
+    origin
+        .into_iter()
+        .map(|(owner, idx)| replies[owner][idx].clone())
+        .collect()
+}
+
+/// Contracts `graph` according to `labels` (global cluster IDs for owned +
+/// ghost nodes, as produced by the parallel SCLP).
+pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> ParContraction {
+    let n_local = graph.n_local();
+    let n_all = n_local + graph.n_ghost();
+    assert_eq!(labels.len(), n_all, "labels must cover owned + ghost nodes");
+    let p = comm.size();
+    let fine_dist = graph.dist();
+
+    // -- Step 1: distinct local cluster IDs to their responsible PEs. -----
+    let mut local_ids: Vec<Node> = labels[..n_local].to_vec();
+    local_ids.sort_unstable();
+    local_ids.dedup();
+    let mut to_resp: Vec<Vec<Node>> = vec![Vec::new(); p];
+    for &c in &local_ids {
+        to_resp[fine_dist.owner(c)].push(c);
+    }
+    let received = alltoallv(comm, to_resp);
+
+    // -- Step 2: count distinct IDs in my responsibility interval; build q.
+    let mut my_ids: Vec<Node> = received.into_iter().flatten().collect();
+    my_ids.sort_unstable();
+    my_ids.dedup();
+    let my_count = my_ids.len() as u64;
+    let offset = exscan_sum(comm, my_count);
+    let n_coarse = allreduce_sum(comm, my_count);
+    let q: HashMap<Node, Node> = my_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, (offset + i as u64) as Node))
+        .collect();
+
+    // -- Step 3: resolve C(v) = q(label(v)) for every local + ghost node.
+    // (Not `query_owner_values`: q is keyed by cluster ID on the
+    // *responsible* PE, not by owned-node index.)
+    let mut want: Vec<Node> = labels.to_vec();
+    want.sort_unstable();
+    want.dedup();
+    let q_of: Vec<Node> = {
+        // Send the wanted IDs to responsible PEs; they answer from `q`.
+        let mut buckets: Vec<Vec<Node>> = vec![Vec::new(); p];
+        let mut origin: Vec<(usize, usize)> = Vec::with_capacity(want.len());
+        for &c in &want {
+            let owner = fine_dist.owner(c);
+            origin.push((owner, buckets[owner].len()));
+            buckets[owner].push(c);
+        }
+        let incoming = alltoallv(comm, buckets);
+        let answers: Vec<Vec<Node>> = incoming
+            .into_iter()
+            .map(|qs| qs.into_iter().map(|c| q[&c]).collect())
+            .collect();
+        let replies = alltoallv(comm, answers);
+        origin
+            .into_iter()
+            .map(|(owner, idx)| replies[owner][idx])
+            .collect()
+    };
+    let q_map: HashMap<Node, Node> = want.iter().copied().zip(q_of).collect();
+    let mapping: Vec<Node> = labels.iter().map(|c| q_map[c]).collect();
+
+    // -- Step 4: local quotient arcs + weight contributions, redistributed
+    //    to the coarse owners.
+    let coarse_dist = BlockDist::new(n_coarse, p);
+    let mut arc_agg: HashMap<(Node, Node), Weight> = HashMap::new();
+    for u in 0..n_local as Node {
+        let cu = mapping[u as usize];
+        for (v, w) in graph.neighbors(u) {
+            let cv = mapping[v as usize];
+            if cu != cv {
+                *arc_agg.entry((cu, cv)).or_insert(0) += w;
+            }
+        }
+    }
+    let mut weight_agg: HashMap<Node, Weight> = HashMap::new();
+    for u in 0..n_local as Node {
+        *weight_agg.entry(mapping[u as usize]).or_insert(0) += graph.node_weight(u);
+    }
+    let mut arc_sends: Vec<Vec<(Node, Node, Weight)>> = vec![Vec::new(); p];
+    for (&(cu, cv), &w) in &arc_agg {
+        arc_sends[coarse_dist.owner(cu)].push((cu, cv, w));
+    }
+    let mut weight_sends: Vec<Vec<(Node, Weight)>> = vec![Vec::new(); p];
+    for (&c, &w) in &weight_agg {
+        weight_sends[coarse_dist.owner(c)].push((c, w));
+    }
+    let arc_recv = alltoallv(comm, arc_sends);
+    let weight_recv = alltoallv(comm, weight_sends);
+
+    // -- Step 5: aggregate owned arcs/weights and assemble the subgraph.
+    let mut arcs: Vec<(Node, Node, Weight)> = arc_recv.into_iter().flatten().collect();
+    arcs.sort_unstable();
+    let mut merged: Vec<(Node, Node, Weight)> = Vec::with_capacity(arcs.len());
+    for (cu, cv, w) in arcs {
+        match merged.last_mut() {
+            Some((lu, lv, lw)) if *lu == cu && *lv == cv => *lw += w,
+            _ => merged.push((cu, cv, w)),
+        }
+    }
+    let first = coarse_dist.first(comm.rank());
+    let n_owned = coarse_dist.count(comm.rank());
+    let mut owned_weights = vec![0 as Weight; n_owned];
+    for (c, w) in weight_recv.into_iter().flatten() {
+        owned_weights[(c as u64 - first) as usize] += w;
+    }
+    let coarse = DistGraph::from_arcs(comm, n_coarse, owned_weights, merged);
+    ParContraction { coarse, mapping }
+}
+
+/// Parallel uncoarsening: every fine PE asks the owners of its coarse
+/// representatives for their block IDs. `coarse_blocks` covers the coarse
+/// graph's owned nodes on this PE; `mapping` is the fine→coarse mapping
+/// from [`parallel_contract`]. Returns fine block IDs covering owned +
+/// ghost fine nodes.
+pub fn parallel_project_blocks(
+    comm: &Comm,
+    coarse: &DistGraph,
+    mapping: &[Node],
+    coarse_blocks: &[Node],
+) -> Vec<Node> {
+    assert_eq!(coarse_blocks.len(), coarse.n_local(), "one block per owned coarse node");
+    let mut want: Vec<Node> = mapping.to_vec();
+    want.sort_unstable();
+    want.dedup();
+    let answers = query_owner_values(comm, coarse.dist(), &want, |idx| coarse_blocks[idx]);
+    let block_of: HashMap<Node, Node> = want.into_iter().zip(answers).collect();
+    mapping.iter().map(|c| block_of[c]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_dmp::run;
+    use pgp_graph::{contract_clustering, CsrGraph};
+
+    /// Sequential/parallel contraction equivalence on a fixed clustering.
+    fn check_equivalence(g: &CsrGraph, clustering: &[Node], p: usize) {
+        let seq = contract_clustering(g, clustering);
+        let gathered = run(p, |comm| {
+            let dg = DistGraph::from_global(comm, g);
+            let labels: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| clustering[dg.local_to_global(l) as usize])
+                .collect();
+            let c = parallel_contract(comm, &dg, &labels);
+            (c.coarse.gather_global(comm), c.mapping)
+        });
+        for (coarse_global, _) in &gathered {
+            assert_eq!(coarse_global.n(), seq.coarse.n(), "coarse node count");
+            assert_eq!(coarse_global.m(), seq.coarse.m(), "coarse edge count");
+            assert_eq!(
+                coarse_global.total_edge_weight(),
+                seq.coarse.total_edge_weight(),
+                "coarse edge weight"
+            );
+            assert_eq!(
+                coarse_global.total_node_weight(),
+                seq.coarse.total_node_weight(),
+                "coarse node weight"
+            );
+            // The renumbering is identical (both are label-order dense).
+            assert_eq!(coarse_global, &seq.coarse);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_contraction_on_sbm() {
+        let (g, _) = pgp_gen::sbm::sbm(300, pgp_gen::sbm::SbmParams::default(), 3);
+        let clustering = pgp_lp::sclp_cluster(&g, 40, 5, 1);
+        for p in [1, 2, 3, 5] {
+            check_equivalence(&g, &clustering, p);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_contraction_on_grid() {
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        let clustering = pgp_lp::sclp_cluster(&g, 12, 4, 7);
+        check_equivalence(&g, &clustering, 4);
+    }
+
+    #[test]
+    fn identity_clustering_keeps_graph() {
+        let g = pgp_gen::mesh::grid2d(6, 6);
+        let clustering: Vec<Node> = g.nodes().collect();
+        check_equivalence(&g, &clustering, 3);
+    }
+
+    #[test]
+    fn mapping_is_consistent_across_pes() {
+        let g = pgp_gen::mesh::grid2d(8, 8);
+        let clustering = pgp_lp::sclp_cluster(&g, 8, 4, 2);
+        let results = run(4, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let labels: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| clustering[dg.local_to_global(l) as usize])
+                .collect();
+            let c = parallel_contract(comm, &dg, &labels);
+            // Report (fine global id, coarse id) pairs for owned nodes.
+            (0..dg.n_local())
+                .map(|l| (dg.local_to_global(l as Node), c.mapping[l]))
+                .collect::<Vec<_>>()
+        });
+        // Two fine nodes in the same cluster must map to the same coarse id,
+        // regardless of which PE owned them.
+        let mut by_cluster: HashMap<Node, Node> = HashMap::new();
+        for pairs in results {
+            for (fine, coarse) in pairs {
+                let cl = clustering[fine as usize];
+                if let Some(&prev) = by_cluster.get(&cl) {
+                    assert_eq!(prev, coarse, "cluster {cl} split across coarse ids");
+                } else {
+                    by_cluster.insert(cl, coarse);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn project_blocks_roundtrip() {
+        let g = pgp_gen::mesh::grid2d(10, 10);
+        let clustering = pgp_lp::sclp_cluster(&g, 10, 4, 5);
+        let fine_blocks = run(4, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let labels: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| clustering[dg.local_to_global(l) as usize])
+                .collect();
+            let c = parallel_contract(comm, &dg, &labels);
+            // Color coarse nodes by parity of their global coarse ID.
+            let coarse_blocks: Vec<Node> = (0..c.coarse.n_local() as Node)
+                .map(|l| c.coarse.local_to_global(l) % 2)
+                .collect();
+            let fine = parallel_project_blocks(comm, &c.coarse, &c.mapping, &coarse_blocks);
+            (0..dg.n_local())
+                .map(|l| (dg.local_to_global(l as Node), fine[l], c.mapping[l]))
+                .collect::<Vec<_>>()
+        });
+        for pes in fine_blocks {
+            for (_fine, block, coarse) in pes {
+                assert_eq!(block, coarse % 2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pgp_dmp::run;
+    use pgp_graph::{contract_clustering, GraphBuilder};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Parallel contraction equals sequential contraction for arbitrary
+        /// graphs, clusterings, and PE counts.
+        #[test]
+        fn parallel_equals_sequential(
+            n in 4usize..36,
+            edges in proptest::collection::vec((0u32..36, 0u32..36, 1u64..4), 2..120),
+            labels in proptest::collection::vec(0u32..36, 36),
+            p in 1usize..6,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                b.push_edge(u % n as u32, v % n as u32, w);
+            }
+            let g = b.build();
+            let clustering: Vec<Node> = (0..n).map(|v| labels[v] % n as u32).collect();
+            let seq = contract_clustering(&g, &clustering);
+            let gathered = run(p, |comm| {
+                let dg = DistGraph::from_global(comm, &g);
+                let l: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                    .map(|x| clustering[dg.local_to_global(x) as usize])
+                    .collect();
+                parallel_contract(comm, &dg, &l).coarse.gather_global(comm)
+            });
+            for cg in gathered {
+                prop_assert_eq!(&cg, &seq.coarse);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! **ParHIP reproduction** — the overall parallel system of *Parallel
+//! Graph Partitioning for Complex Networks* (Meyerhenke, Sanders, Schulz;
+//! IPDPS 2015).
+//!
+//! The system partitions a graph into `k` blocks of near-equal weight
+//! minimizing the edge cut, on `p` message-passing PEs:
+//!
+//! 1. **Parallel coarsening** ([`coarsen`]): size-constrained label
+//!    propagation clusters the distributed graph; [`contract`] implements
+//!    the parallel contraction of Section IV-C (distinct-ID counting,
+//!    prefix-sum renumbering, quotient-edge redistribution). Repeated
+//!    until `~10 000·k`-scaled nodes remain.
+//! 2. **Initial partitioning**: the coarsest graph is replicated and
+//!    handed to the distributed evolutionary algorithm KaFFPaE
+//!    (`pgp-evo`).
+//! 3. **Parallel uncoarsening** ([`partitioner`]): block lookups from
+//!    coarse owners project the solution up; `r` rounds of parallel SCLP
+//!    refinement (`pgp-lp`) improve it per level.
+//! 4. **Iterated V-cycles** re-enter the pipeline with the current
+//!    partition as a clustering constraint (cut edges survive coarsening)
+//!    and as a seed individual for the evolutionary algorithm.
+//!
+//! Entry point: [`partition_parallel`] (shared-input convenience) or
+//! [`parhip_distributed`] (SPMD style, inside a `pgp_dmp::run` closure).
+//!
+//! ```
+//! use parhip::{partition_parallel, GraphClass, ParhipConfig};
+//! let (g, _) = pgp_gen::sbm::sbm(600, Default::default(), 7);
+//! let mut cfg = ParhipConfig::fast(4, GraphClass::Social, 42);
+//! cfg.coarsest_nodes_per_block = 50;
+//! let (partition, stats) = partition_parallel(&g, 2, &cfg);
+//! assert!(partition.validate(&g, 0.03).is_ok());
+//! assert!(stats.levels >= 1);
+//! ```
+
+pub mod coarsen;
+pub mod config;
+pub mod contract;
+pub mod partitioner;
+
+pub use coarsen::{parallel_coarsen, ParHierarchy, ParLevel};
+pub use config::{GraphClass, ParhipConfig, Preset};
+pub use contract::{parallel_contract, parallel_project_blocks, ParContraction};
+pub use partitioner::{
+    parhip_distributed, parhip_distributed_with_input, partition_parallel,
+    partition_parallel_with_input, ParhipStats,
+};

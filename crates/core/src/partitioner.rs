@@ -1,0 +1,376 @@
+//! The overall parallel system (Section IV-E, Figure 4).
+//!
+//! Per V-cycle: parallel cluster coarsening until `10 000·k`-scaled nodes
+//! remain → the distributed coarsest graph is collected on every PE →
+//! KaFFPaE partitions it (seeded with the current partition after the
+//! first cycle) → the best solution is broadcast and carried up by the
+//! parallel uncoarsening, with `r` iterations of parallel SCLP refinement
+//! per level.
+
+use crate::coarsen::{parallel_coarsen, ParHierarchy};
+use crate::config::ParhipConfig;
+use crate::contract::parallel_project_blocks;
+use pgp_dmp::collectives::allgatherv;
+use pgp_dmp::{Comm, DistGraph};
+use pgp_evo::{Budget, EvoConfig};
+use pgp_graph::{lmax, CsrGraph, Node, Partition};
+use pgp_lp::par::parallel_sclp_refine;
+use std::time::Instant;
+
+/// Per-phase timings and structural statistics of one run (as reported by
+/// rank 0; all PEs see the same structure).
+#[derive(Clone, Debug, Default)]
+pub struct ParhipStats {
+    /// Seconds spent in parallel coarsening (all cycles).
+    pub coarsening_s: f64,
+    /// Seconds spent in the evolutionary initial partitioning.
+    pub initial_s: f64,
+    /// Seconds spent in uncoarsening + refinement.
+    pub uncoarsening_s: f64,
+    /// Hierarchy depth of the first cycle.
+    pub levels: usize,
+    /// Global node count of the first cycle's coarsest graph.
+    pub coarsest_n: u64,
+    /// Global edge count of the first cycle's coarsest graph.
+    pub coarsest_m: u64,
+    /// Final edge cut.
+    pub cut: u64,
+}
+
+/// Runs the full system on an already-distributed graph; returns this PE's
+/// local block assignment (owned nodes) plus stats.
+pub fn parhip_distributed(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+) -> (Vec<Node>, ParhipStats) {
+    parhip_distributed_with_input(comm, graph, cfg, None)
+}
+
+/// As [`parhip_distributed`], but optionally starting from a *prepartition*
+/// (paper §VI: "this prepartition could be directly fed into the first
+/// V-cycle and consecutively be improved" — e.g. a geographic or
+/// hash-based initialization from a cloud toolkit). `input` covers owned +
+/// ghost nodes; the first cycle then behaves like a later V-cycle: cut
+/// edges of the input survive coarsening and the input seeds the
+/// evolutionary population, so the result is never worse than the input.
+pub fn parhip_distributed_with_input(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+    input: Option<&[Node]>,
+) -> (Vec<Node>, ParhipStats) {
+    let mut stats = ParhipStats::default();
+    let n_all = graph.n_local() + graph.n_ghost();
+    // blocks: owned + ghost, maintained across cycles.
+    let mut blocks: Option<Vec<Node>> = input.map(|b| {
+        assert_eq!(b.len(), n_all, "prepartition must cover owned + ghost nodes");
+        b.to_vec()
+    });
+
+    for cycle in 0..cfg.vcycles.max(1) {
+        // ---- Parallel coarsening -------------------------------------
+        let t0 = Instant::now();
+        let hierarchy = parallel_coarsen(
+            comm,
+            graph.clone(),
+            cfg,
+            cycle,
+            blocks.as_deref(),
+        );
+        stats.coarsening_s += t0.elapsed().as_secs_f64();
+        if cycle == 0 {
+            stats.levels = hierarchy.depth();
+            stats.coarsest_n = hierarchy.coarsest().n_global();
+            stats.coarsest_m = hierarchy.coarsest().m_global();
+        }
+
+        // ---- Initial partitioning on the replicated coarsest graph ----
+        let t1 = Instant::now();
+        let coarsest = hierarchy.coarsest();
+        let coarsest_global: CsrGraph = coarsest.gather_global(comm);
+        let seed_partition: Option<Partition> = blocks.as_ref().map(|b| {
+            // Project the current partition to the coarsest level: walk the
+            // mapping chain for the local part, then allgather.
+            let coarse_local = project_down(comm, &hierarchy, b);
+            let all = allgatherv(comm, coarse_local);
+            Partition::from_assignment(&coarsest_global, cfg.k, all)
+        });
+        let evo_cfg = EvoConfig {
+            k: cfg.k,
+            eps: cfg.eps,
+            population_size: cfg.population_size,
+            budget: Budget::Operations(cfg.evo_operations),
+            mutation_rate: 0.1,
+            rumor_fanout: if cfg.deterministic { 0 } else { 1 },
+            rumor_interval: 2,
+            seed: cfg.seed.wrapping_add(cycle as u64 * 0xE70),
+            objective: pgp_evo::Objective::EdgeCut,
+        };
+        let coarse_partition = pgp_evo::kaffpae(comm, &coarsest_global, &evo_cfg, seed_partition.as_ref());
+        stats.initial_s += t1.elapsed().as_secs_f64();
+
+        // ---- Parallel uncoarsening + refinement ------------------------
+        let t2 = Instant::now();
+        let lmax_v = lmax(graph.total_node_weight(), cfg.k, cfg.eps);
+        // Blocks of this PE's *owned coarsest* nodes from the replicated
+        // solution.
+        let first = coarsest.first_global();
+        let mut level_blocks: Vec<Node> = (0..coarsest.n_local())
+            .map(|l| coarse_partition.block((first as usize + l) as Node))
+            .collect();
+        // Walk levels coarse→fine.
+        for li in (0..hierarchy.depth() - 1).rev() {
+            let fine = &hierarchy.levels[li].graph;
+            let coarse = &hierarchy.levels[li + 1].graph;
+            let mapping = &hierarchy.levels[li].mapping;
+            let mut fine_blocks = parallel_project_blocks(comm, coarse, mapping, &level_blocks);
+            parallel_sclp_refine(
+                comm,
+                fine,
+                cfg.k,
+                lmax_v,
+                cfg.refine_iterations,
+                cfg.seed.wrapping_add((cycle * 1000 + li) as u64),
+                &mut fine_blocks,
+            );
+            level_blocks = fine_blocks[..fine.n_local()].to_vec();
+        }
+        // When the hierarchy is a single level, refine directly on it.
+        if hierarchy.depth() == 1 {
+            let fine = &hierarchy.levels[0].graph;
+            let mut fb = vec![0 as Node; fine.n_local() + fine.n_ghost()];
+            fb[..fine.n_local()].copy_from_slice(&level_blocks);
+            // Ghost blocks from the replicated coarse partition (coarsest ==
+            // finest here).
+            #[allow(clippy::needless_range_loop)] // l is a local node id
+            for l in fine.n_local()..fine.n_local() + fine.n_ghost() {
+                fb[l] = coarse_partition.block(fine.local_to_global(l as Node));
+            }
+            parallel_sclp_refine(
+                comm,
+                fine,
+                cfg.k,
+                lmax_v,
+                cfg.refine_iterations,
+                cfg.seed.wrapping_add(cycle as u64 * 7919),
+                &mut fb,
+            );
+            level_blocks = fb[..fine.n_local()].to_vec();
+        }
+        stats.uncoarsening_s += t2.elapsed().as_secs_f64();
+
+        // Refresh ghost blocks for the next cycle's constraint.
+        let mut full = vec![0 as Node; n_all];
+        full[..graph.n_local()].copy_from_slice(&level_blocks);
+        let ghost_ids: Vec<Node> = (graph.n_local()..n_all)
+            .map(|l| graph.local_to_global(l as Node))
+            .collect();
+        let ghost_blocks = crate::contract::query_owner_values(
+            comm,
+            graph.dist(),
+            &ghost_ids,
+            |idx| level_blocks[idx],
+        );
+        full[graph.n_local()..].copy_from_slice(&ghost_blocks);
+        blocks = Some(full);
+    }
+
+    let final_blocks = blocks.expect("at least one cycle ran");
+    (final_blocks[..graph.n_local()].to_vec(), stats)
+}
+
+/// Projects the current fine blocks (owned part) down the hierarchy to the
+/// coarsest level, returning the blocks of this PE's owned coarsest nodes.
+fn project_down(comm: &Comm, hierarchy: &ParHierarchy, fine_blocks: &[Node]) -> Vec<Node> {
+    // At each step: owned fine nodes vote (coarse_id, block) to the coarse
+    // owner; all members agree because the coarsening was constrained.
+    let mut cur: Vec<Node> = fine_blocks[..hierarchy.levels[0].graph.n_local()].to_vec();
+    for li in 0..hierarchy.depth() - 1 {
+        let coarse = &hierarchy.levels[li + 1].graph;
+        let mapping = &hierarchy.levels[li].mapping;
+        let dist = coarse.dist();
+        let mut votes: Vec<Vec<(Node, Node)>> = vec![Vec::new(); comm.size()];
+        for (v, &b) in cur.iter().enumerate() {
+            let cid = mapping[v];
+            votes[dist.owner(cid)].push((cid, b));
+        }
+        let first = dist.first(comm.rank());
+        let mut next = vec![0 as Node; coarse.n_local()];
+        for (cid, b) in pgp_dmp::collectives::alltoallv(comm, votes)
+            .into_iter()
+            .flatten()
+        {
+            next[(cid as u64 - first) as usize] = b;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// The top-level convenience API: partitions `graph` into `cfg.k` blocks
+/// using `p` PEs, returning the assembled global partition (identical to
+/// what rank 0 holds) and the run's statistics.
+///
+/// ```no_run
+/// use parhip::{partition_parallel, ParhipConfig, GraphClass};
+/// let g = pgp_gen::rmat::rmat_web(12, 8, 1);
+/// let (p, stats) = partition_parallel(&g, 8, &ParhipConfig::fast(16, GraphClass::Social, 42));
+/// assert!(p.is_balanced(&g, 0.05));
+/// println!("cut {} in {} levels", stats.cut, stats.levels);
+/// ```
+pub fn partition_parallel(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+) -> (Partition, ParhipStats) {
+    partition_parallel_impl(graph, p, cfg, None)
+}
+
+/// As [`partition_parallel`], improving a given *prepartition* (§VI): the
+/// input's cut edges survive coarsening and the input seeds the coarsest-
+/// level population, so the result is at least as good a starting point as
+/// the input itself.
+pub fn partition_parallel_with_input(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    input: &Partition,
+) -> (Partition, ParhipStats) {
+    assert_eq!(input.k(), cfg.k, "prepartition block count mismatch");
+    partition_parallel_impl(graph, p, cfg, Some(input))
+}
+
+fn partition_parallel_impl(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    input: Option<&Partition>,
+) -> (Partition, ParhipStats) {
+    let results = pgp_dmp::run(p, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let local_input: Option<Vec<Node>> = input.map(|ip| {
+            (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| ip.block(dg.local_to_global(l)))
+                .collect()
+        });
+        let (local, stats) =
+            parhip_distributed_with_input(comm, &dg, cfg, local_input.as_deref());
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    (partition, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphClass;
+
+    fn small_cfg(k: usize, class: GraphClass, seed: u64) -> ParhipConfig {
+        let mut cfg = ParhipConfig::fast(k, class, seed);
+        cfg.coarsest_nodes_per_block = 50;
+        cfg.deterministic = true;
+        cfg
+    }
+
+    #[test]
+    fn partitions_social_standin_validly() {
+        let (g, _) = pgp_gen::sbm::sbm(1200, pgp_gen::sbm::SbmParams::default(), 4);
+        let (p, stats) = partition_parallel(&g, 4, &small_cfg(4, GraphClass::Social, 1));
+        p.validate(&g, 0.03).unwrap();
+        assert!(stats.levels >= 2);
+        assert!(stats.cut > 0);
+        // Much better than a random balanced partition.
+        let rand_cut = Partition::from_assignment(
+            &g,
+            4,
+            (0..g.n() as u32).map(|i| i % 4).collect(),
+        )
+        .edge_cut(&g);
+        assert!(stats.cut < rand_cut / 2, "cut {} vs random {rand_cut}", stats.cut);
+    }
+
+    #[test]
+    fn partitions_mesh_validly() {
+        let g = pgp_gen::mesh::grid2d(30, 30);
+        let (p, _) = partition_parallel(&g, 3, &small_cfg(3, GraphClass::Mesh, 7));
+        p.validate(&g, 0.03).unwrap();
+        // 3-way cut of a 30x30 grid: decent quality sanity bound.
+        assert!(p.edge_cut(&g) <= 120, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn single_pe_works() {
+        let (g, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 9);
+        let (p, _) = partition_parallel(&g, 1, &small_cfg(2, GraphClass::Social, 3));
+        p.validate(&g, 0.03).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_p() {
+        let (g, _) = pgp_gen::sbm::sbm(500, pgp_gen::sbm::SbmParams::default(), 11);
+        let cfg = small_cfg(2, GraphClass::Social, 21);
+        let (a, _) = partition_parallel(&g, 3, &cfg);
+        let (b, _) = partition_parallel(&g, 3, &cfg);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn more_vcycles_do_not_hurt() {
+        let (g, _) = pgp_gen::sbm::sbm(700, pgp_gen::sbm::SbmParams::default(), 13);
+        let mut one = small_cfg(4, GraphClass::Social, 5);
+        one.vcycles = 1;
+        let mut three = small_cfg(4, GraphClass::Social, 5);
+        three.vcycles = 3;
+        let (p1, _) = partition_parallel(&g, 2, &one);
+        let (p3, _) = partition_parallel(&g, 2, &three);
+        assert!(
+            p3.edge_cut(&g) <= p1.edge_cut(&g),
+            "3 cycles {} vs 1 cycle {}",
+            p3.edge_cut(&g),
+            p1.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn prepartition_is_improved_never_worsened() {
+        let (g, _) = pgp_gen::sbm::sbm(800, pgp_gen::sbm::SbmParams::default(), 23);
+        let cfg = small_cfg(4, GraphClass::Social, 5);
+        // A hash prepartition (balanced, terrible cut) fed into the first
+        // V-cycle, as §VI suggests for cloud toolkits.
+        let hash: Vec<Node> = (0..g.n() as Node)
+            .map(|v| (pgp_dmp::mix_seed(7, v as u64) % 4) as Node)
+            .collect();
+        let hash_cut =
+            Partition::from_assignment(&g, 4, hash.clone()).edge_cut(&g);
+        let results = pgp_dmp::run(2, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            let input: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                .map(|l| hash[dg.local_to_global(l) as usize])
+                .collect();
+            let (local, _) =
+                super::parhip_distributed_with_input(comm, &dg, &cfg, Some(&input));
+            allgatherv(comm, local)
+        });
+        let p = Partition::from_assignment(&g, 4, results.into_iter().next().unwrap());
+        assert!(
+            p.edge_cut(&g) < hash_cut / 2,
+            "prepartition {hash_cut} should be drastically improved, got {}",
+            p.edge_cut(&g)
+        );
+        p.validate(&g, 0.03).unwrap();
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (g, _) = pgp_gen::sbm::sbm(600, pgp_gen::sbm::SbmParams::default(), 2);
+        let (_, stats) = partition_parallel(&g, 2, &small_cfg(2, GraphClass::Social, 17));
+        assert!(stats.coarsening_s >= 0.0);
+        assert!(stats.coarsest_n > 0);
+        assert!(stats.levels >= 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Parallel heavy-edge matching on the distributed graph — the coarsening
+//! engine of the ParMetis-like baseline.
+//!
+//! Round-based mutual-proposal protocol: every unmatched node targets its
+//! heaviest unmatched neighbour; a pair matches exactly when the choice is
+//! mutual. Cross-PE proposals take one query/answer round; match states of
+//! interface nodes are then synchronized. A handful of rounds matches the
+//! overwhelming majority of matchable nodes.
+
+use pgp_dmp::collectives::alltoallv;
+use pgp_dmp::{Comm, DistGraph, LabelExchange};
+use pgp_graph::{Node, Weight, INVALID_NODE};
+
+/// Computes a heavy-edge matching of the distributed graph and returns
+/// cluster labels (owned + ghost; matched pairs share the smaller global
+/// ID, everyone else keeps their own).
+pub fn parallel_hem(comm: &Comm, graph: &DistGraph, rounds: usize, seed: u64) -> Vec<Node> {
+    let n_local = graph.n_local();
+    let n_all = n_local + graph.n_ghost();
+    // Matched state for owned + ghost nodes; value = partner's global ID.
+    let mut partner = vec![INVALID_NODE; n_all];
+
+    for round in 0..rounds {
+        // Symmetric per-round tie-break key: both endpoints of an edge
+        // compute the same value, so on uniform weights the targets follow
+        // a random edge priority and a constant fraction of proposals is
+        // mutual per round (without this, "pick the smaller ID" chains and
+        // almost nothing matches).
+        let round_seed = pgp_dmp::mix_seed(seed, round as u64);
+        let edge_key = |a: Node, b: Node| -> u64 {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            pgp_dmp::mix_seed(round_seed, ((lo as u64) << 32) | hi as u64)
+        };
+        // Targets for unmatched owned nodes: heaviest unmatched neighbour,
+        // ties broken by the symmetric key (deterministic on both sides).
+        let mut target = vec![INVALID_NODE; n_local];
+        for v in 0..n_local as Node {
+            if partner[v as usize] != INVALID_NODE {
+                continue;
+            }
+            let gv = graph.local_to_global(v);
+            let mut best = INVALID_NODE;
+            let mut best_w: Weight = 0;
+            let mut best_key = 0u64;
+            for (u, w) in graph.neighbors(v) {
+                if partner[u as usize] != INVALID_NODE {
+                    continue;
+                }
+                let gu = graph.local_to_global(u);
+                let key = edge_key(gv, gu);
+                if best == INVALID_NODE || w > best_w || (w == best_w && key > best_key) {
+                    best = gu;
+                    best_w = w;
+                    best_key = key;
+                }
+            }
+            target[v as usize] = best;
+        }
+
+        // Local-local mutual matches.
+        let first = graph.first_global();
+        let last = first + n_local as u64;
+        for v in 0..n_local as Node {
+            if partner[v as usize] != INVALID_NODE {
+                continue;
+            }
+            let t = target[v as usize];
+            if t == INVALID_NODE {
+                continue;
+            }
+            if (t as u64) >= first && (t as u64) < last {
+                let tl = (t as u64 - first) as Node;
+                let gv = graph.local_to_global(v);
+                if partner[tl as usize] == INVALID_NODE && target[tl as usize] == gv && gv < t {
+                    partner[v as usize] = t;
+                    partner[tl as usize] = gv;
+                }
+            }
+        }
+
+        // Cross-PE proposals: (proposer_global, target_global) to the
+        // target's owner.
+        let mut proposals: Vec<Vec<(Node, Node)>> = vec![Vec::new(); comm.size()];
+        for v in 0..n_local as Node {
+            if partner[v as usize] != INVALID_NODE {
+                continue;
+            }
+            let t = target[v as usize];
+            if t == INVALID_NODE || ((t as u64) >= first && (t as u64) < last) {
+                continue;
+            }
+            let owner = graph.dist().owner(t);
+            proposals[owner].push((graph.local_to_global(v), t));
+        }
+        let incoming = alltoallv(comm, proposals);
+        // Accept a proposal x→u exactly when u is unmatched and t(u) == x.
+        let mut accepts: Vec<Vec<(Node, Node)>> = vec![Vec::new(); comm.size()];
+        for (src, props) in incoming.iter().enumerate() {
+            for &(x, u_global) in props {
+                let ul = (u_global as u64 - first) as usize;
+                if partner[ul] == INVALID_NODE && target[ul] == x {
+                    partner[ul] = x;
+                    accepts[src].push((x, u_global));
+                }
+            }
+        }
+        let accepted = alltoallv(comm, accepts);
+        for (x, u_global) in accepted.into_iter().flatten() {
+            let xl = (x as u64 - first) as usize;
+            // When both endpoints proposed to each other (mutual targets on
+            // different PEs), each side already accepted the other's
+            // proposal — the accept confirms the same partner.
+            debug_assert!(partner[xl] == INVALID_NODE || partner[xl] == u_global);
+            partner[xl] = u_global;
+        }
+
+        // Synchronize ghost match states (the next round's eligibility
+        // checks need them; the partner value also yields ghost labels).
+        sync_interface(comm, graph, &mut partner);
+    }
+
+    // Labels from partners; ghosts received their partner in the last sync.
+    let mut labels = vec![0 as Node; n_all];
+    for l in 0..n_all as Node {
+        let g = graph.local_to_global(l);
+        let p = partner[l as usize];
+        labels[l as usize] = if p == INVALID_NODE { g } else { g.min(p) };
+    }
+    labels
+}
+
+/// Sends the match state of every interface node to the adjacent PEs and
+/// applies the incoming updates to ghost entries.
+fn sync_interface(comm: &Comm, graph: &DistGraph, partner: &mut [Node]) {
+    let mut ex = LabelExchange::new(comm, graph);
+    for v in 0..graph.n_local() as Node {
+        // Record unconditionally: non-interface records are no-ops, and
+        // sending INVALID_NODE keeps previously-matched state in sync.
+        ex.record(graph, v, partner[v as usize]);
+    }
+    ex.flush_sync(comm, graph, partner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_dmp::run;
+
+    /// Reassemble the global matching and verify consistency.
+    fn check_matching(g: &pgp_graph::CsrGraph, p: usize, rounds: usize) -> Vec<Node> {
+        let results = run(p, |comm| {
+            let dg = DistGraph::from_global(comm, g);
+            let labels = parallel_hem(comm, &dg, rounds, 7);
+            (0..dg.n_local())
+                .map(|l| (dg.local_to_global(l as Node), labels[l]))
+                .collect::<Vec<_>>()
+        });
+        let mut global = vec![0 as Node; g.n()];
+        for pairs in results {
+            for (v, l) in pairs {
+                global[v as usize] = l;
+            }
+        }
+        // Every label class has size 1 or 2, and pairs are adjacent.
+        let mut count = std::collections::HashMap::new();
+        for (v, &l) in global.iter().enumerate() {
+            count.entry(l).or_insert_with(Vec::new).push(v as Node);
+        }
+        for (l, members) in &count {
+            assert!(members.len() <= 2, "cluster {l} has {} members", members.len());
+            if members.len() == 2 {
+                assert!(
+                    g.neighbors(members[0]).any(|u| u == members[1]),
+                    "matched pair {members:?} not adjacent"
+                );
+            }
+        }
+        global
+    }
+
+    #[test]
+    fn matching_is_valid_across_pe_counts() {
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        for p in [1, 2, 4] {
+            check_matching(&g, p, 4);
+        }
+    }
+
+    #[test]
+    fn matching_matches_most_of_a_grid() {
+        let g = pgp_gen::mesh::grid2d(16, 16);
+        let labels = check_matching(&g, 3, 5);
+        let matched = {
+            let mut cnt = std::collections::HashMap::new();
+            for &l in &labels {
+                *cnt.entry(l).or_insert(0usize) += 1;
+            }
+            labels.iter().filter(|&&l| cnt[&l] == 2).count()
+        };
+        assert!(matched * 10 >= labels.len() * 7, "only {matched}/{} matched", labels.len());
+    }
+
+    #[test]
+    fn matching_leaves_star_leaves_unmatched() {
+        // A star: only one leaf can match the hub; the rest stay single.
+        let edges: Vec<(Node, Node)> = (1..50).map(|i| (0, i)).collect();
+        let g = pgp_graph::builder::from_edges(50, &edges);
+        let labels = check_matching(&g, 2, 5);
+        let singles = {
+            let mut cnt = std::collections::HashMap::new();
+            for &l in &labels {
+                *cnt.entry(l).or_insert(0usize) += 1;
+            }
+            labels.iter().filter(|&&l| cnt[&l] == 1).count()
+        };
+        assert!(singles >= 48, "stars must stall matching, {singles} singles");
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // Path 0-1-2 with weights 1, 10: the 1-2 edge must be matched.
+        let g = pgp_graph::GraphBuilder::new(3)
+            .add_weighted_edge(0, 1, 1)
+            .add_weighted_edge(1, 2, 10)
+            .build();
+        let labels = check_matching(&g, 1, 3);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+    }
+}

@@ -1,0 +1,596 @@
+//! The distributed graph data structure of Section IV-A.
+//!
+//! Each PE owns a *contiguous range* of global node IDs and stores the
+//! induced adjacency in a local CSR. Endpoints of cut arcs that live on
+//! other PEs are *ghost* (halo) nodes: they get local IDs after the owned
+//! nodes, their global IDs live in an extra array, a hash map translates
+//! ghost global→local, and a per-ghost owner array gives O(1) owner lookup —
+//! exactly the layout the paper describes.
+
+use crate::collectives::{allgatherv, allreduce_sum, alltoallv};
+use crate::comm::Comm;
+use pgp_graph::{CsrGraph, Node, Weight, INVALID_NODE};
+use std::collections::HashMap;
+
+/// Block distribution of `n` global nodes over `p` PEs: PE `r` owns the
+/// global IDs `r·⌈n/p⌉ .. min((r+1)·⌈n/p⌉, n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDist {
+    /// Total number of global nodes.
+    pub n_global: u64,
+    /// Chunk size `⌈n/p⌉` (1 minimum so owner arithmetic stays valid).
+    pub chunk: u64,
+    /// Number of PEs.
+    pub p: usize,
+}
+
+impl BlockDist {
+    /// Creates the distribution for `n_global` nodes over `p` PEs.
+    pub fn new(n_global: u64, p: usize) -> Self {
+        assert!(p > 0);
+        let chunk = n_global.div_ceil(p as u64).max(1);
+        Self { n_global, chunk, p }
+    }
+
+    /// The PE owning global node `g`.
+    #[inline]
+    pub fn owner(&self, g: Node) -> usize {
+        ((g as u64 / self.chunk) as usize).min(self.p - 1)
+    }
+
+    /// The first global ID owned by PE `r`.
+    #[inline]
+    pub fn first(&self, r: usize) -> u64 {
+        (r as u64 * self.chunk).min(self.n_global)
+    }
+
+    /// The one-past-last global ID owned by PE `r`.
+    #[inline]
+    pub fn last_excl(&self, r: usize) -> u64 {
+        ((r as u64 + 1) * self.chunk).min(self.n_global)
+    }
+
+    /// Number of nodes owned by PE `r`.
+    #[inline]
+    pub fn count(&self, r: usize) -> usize {
+        (self.last_excl(r) - self.first(r)) as usize
+    }
+}
+
+/// A PE-local view of a distributed graph: owned nodes `0..n_local`,
+/// ghost nodes `n_local..n_local+n_ghost` (ghosts have weights and labels
+/// but no stored adjacency).
+#[derive(Clone, Debug)]
+pub struct DistGraph {
+    rank: usize,
+    dist: BlockDist,
+    /// CSR over owned nodes; targets are local IDs (owned or ghost).
+    xadj: Vec<u64>,
+    adjncy: Vec<Node>,
+    adjwgt: Vec<Weight>,
+    /// Weights of owned nodes followed by ghost nodes.
+    node_weight: Vec<Weight>,
+    /// Ghost local index → global ID.
+    ghost_global: Vec<Node>,
+    /// Ghost local index → owning PE.
+    ghost_owner: Vec<u32>,
+    /// Global ID → ghost local ID.
+    ghost_map: HashMap<Node, Node>,
+    /// For each owned node, the PEs owning at least one of its ghost
+    /// neighbours (CSR layout). Non-empty ⇔ the node is an interface node.
+    iface_xadj: Vec<u32>,
+    iface_pes: Vec<u32>,
+    /// Ranks of all adjacent PEs (sorted, distinct).
+    adjacent_pes: Vec<u32>,
+    /// Global totals (identical on every PE).
+    total_node_weight: Weight,
+    total_edge_weight: Weight,
+    global_m: u64,
+}
+
+impl DistGraph {
+    /// Builds PE `comm.rank()`'s local view from a globally shared graph.
+    ///
+    /// This is the test/benchmark "scatter": the global graph is only read
+    /// during construction; all algorithms afterwards touch local state and
+    /// messages exclusively.
+    pub fn from_global(comm: &Comm, global: &CsrGraph) -> Self {
+        let dist = BlockDist::new(global.n() as u64, comm.size());
+        let rank = comm.rank();
+        let first = dist.first(rank);
+        let last = dist.last_excl(rank);
+        let n_local = (last - first) as usize;
+
+        let mut arcs: Vec<(Node, Node, Weight)> = Vec::new();
+        for g in first..last {
+            for (v, w) in global.neighbors_weighted(g as Node) {
+                arcs.push((g as Node, v, w));
+            }
+        }
+        let owned_weights: Vec<Weight> = (first..last)
+            .map(|g| global.node_weight(g as Node))
+            .collect();
+        // Ghost weights can be read straight off the shared input here; the
+        // fully distributed constructor fetches them by message instead.
+        Self::assemble(comm, dist, n_local, owned_weights, arcs, |g| {
+            global.node_weight(g)
+        })
+    }
+
+    /// Fully distributed construction from local arcs: `arcs` holds, for
+    /// every *owned* node `u` (global ID), all arcs `(u, v_global, w)`.
+    /// Ghost node weights are fetched from their owners via one `alltoallv`.
+    pub fn from_arcs(
+        comm: &Comm,
+        n_global: u64,
+        owned_weights: Vec<Weight>,
+        arcs: Vec<(Node, Node, Weight)>,
+    ) -> Self {
+        let dist = BlockDist::new(n_global, comm.size());
+        let rank = comm.rank();
+        let n_local = dist.count(rank);
+        assert_eq!(owned_weights.len(), n_local, "owned weight count mismatch");
+
+        // Discover ghosts, then query their weights from their owners.
+        let first = dist.first(rank);
+        let last = dist.last_excl(rank);
+        let mut ghosts: Vec<Node> = arcs
+            .iter()
+            .map(|&(_, v, _)| v)
+            .filter(|&v| (v as u64) < first || (v as u64) >= last)
+            .collect();
+        ghosts.sort_unstable();
+        ghosts.dedup();
+        let mut queries: Vec<Vec<Node>> = vec![Vec::new(); comm.size()];
+        for &g in &ghosts {
+            queries[dist.owner(g)].push(g);
+        }
+        let incoming = alltoallv(comm, queries.clone());
+        let answers: Vec<Vec<Weight>> = incoming
+            .into_iter()
+            .map(|q| {
+                q.into_iter()
+                    .map(|g| owned_weights[(g as u64 - first) as usize])
+                    .collect()
+            })
+            .collect();
+        let replies = alltoallv(comm, answers);
+        let mut ghost_weight: HashMap<Node, Weight> = HashMap::with_capacity(ghosts.len());
+        for (pe, qs) in queries.iter().enumerate() {
+            for (i, &g) in qs.iter().enumerate() {
+                ghost_weight.insert(g, replies[pe][i]);
+            }
+        }
+        Self::assemble(comm, dist, n_local, owned_weights, arcs, |g| {
+            ghost_weight[&g]
+        })
+    }
+
+    /// Shared assembly: builds the local CSR, ghost tables and interface
+    /// structure from the arc list. `ghost_weight_of` resolves weights of
+    /// non-owned endpoints.
+    fn assemble(
+        comm: &Comm,
+        dist: BlockDist,
+        n_local: usize,
+        owned_weights: Vec<Weight>,
+        mut arcs: Vec<(Node, Node, Weight)>,
+        ghost_weight_of: impl Fn(Node) -> Weight,
+    ) -> Self {
+        let rank = comm.rank();
+        let first = dist.first(rank);
+        let last = dist.last_excl(rank);
+        arcs.sort_unstable();
+
+        // Ghost discovery in first-appearance order is fine; we sort arcs so
+        // the order is deterministic.
+        let mut ghost_global: Vec<Node> = Vec::new();
+        let mut ghost_map: HashMap<Node, Node> = HashMap::new();
+        let mut xadj = vec![0u64; n_local + 1];
+        let mut adjncy = Vec::with_capacity(arcs.len());
+        let mut adjwgt = Vec::with_capacity(arcs.len());
+        for &(u, v, w) in &arcs {
+            let lu = (u as u64 - first) as usize;
+            debug_assert!((u as u64) >= first && (u as u64) < last, "arc source not owned");
+            let lv = if (v as u64) >= first && (v as u64) < last {
+                (v as u64 - first) as Node
+            } else {
+                *ghost_map.entry(v).or_insert_with(|| {
+                    ghost_global.push(v);
+                    (n_local + ghost_global.len() - 1) as Node
+                })
+            };
+            xadj[lu + 1] += 1;
+            adjncy.push(lv);
+            adjwgt.push(w);
+        }
+        for i in 0..n_local {
+            xadj[i + 1] += xadj[i];
+        }
+
+        let ghost_owner: Vec<u32> = ghost_global.iter().map(|&g| dist.owner(g) as u32).collect();
+        let mut node_weight = owned_weights;
+        node_weight.extend(ghost_global.iter().map(|&g| ghost_weight_of(g)));
+
+        // Interface structure: per owned node, distinct adjacent PEs.
+        let mut iface_xadj = vec![0u32; n_local + 1];
+        let mut iface_pes: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for u in 0..n_local {
+            scratch.clear();
+            let lo = xadj[u] as usize;
+            let hi = xadj[u + 1] as usize;
+            for &t in &adjncy[lo..hi] {
+                if t as usize >= n_local {
+                    scratch.push(ghost_owner[t as usize - n_local]);
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            iface_pes.extend_from_slice(&scratch);
+            iface_xadj[u + 1] = iface_pes.len() as u32;
+        }
+        let mut adjacent_pes: Vec<u32> = ghost_owner.clone();
+        adjacent_pes.sort_unstable();
+        adjacent_pes.dedup();
+
+        // Global totals.
+        let local_nw: Weight = node_weight[..n_local].iter().sum();
+        let total_node_weight = allreduce_sum(comm, local_nw);
+        let local_arc_w: Weight = adjwgt.iter().sum();
+        let total_edge_weight = allreduce_sum(comm, local_arc_w) / 2;
+        let global_m = allreduce_sum(comm, adjncy.len() as u64) / 2;
+
+        Self {
+            rank,
+            dist,
+            xadj,
+            adjncy,
+            adjwgt,
+            node_weight,
+            ghost_global,
+            ghost_owner,
+            ghost_map,
+            iface_xadj,
+            iface_pes,
+            adjacent_pes,
+            total_node_weight,
+            total_edge_weight,
+            global_m,
+        }
+    }
+
+    /// This PE's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The global block distribution.
+    #[inline]
+    pub fn dist(&self) -> BlockDist {
+        self.dist
+    }
+
+    /// Number of owned (local) nodes.
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of ghost nodes.
+    #[inline]
+    pub fn n_ghost(&self) -> usize {
+        self.ghost_global.len()
+    }
+
+    /// Total number of global nodes.
+    #[inline]
+    pub fn n_global(&self) -> u64 {
+        self.dist.n_global
+    }
+
+    /// Total number of global undirected edges.
+    #[inline]
+    pub fn m_global(&self) -> u64 {
+        self.global_m
+    }
+
+    /// Global sum of node weights.
+    #[inline]
+    pub fn total_node_weight(&self) -> Weight {
+        self.total_node_weight
+    }
+
+    /// Global sum of edge weights.
+    #[inline]
+    pub fn total_edge_weight(&self) -> Weight {
+        self.total_edge_weight
+    }
+
+    /// First owned global ID.
+    #[inline]
+    pub fn first_global(&self) -> u64 {
+        self.dist.first(self.rank)
+    }
+
+    /// True iff local ID `l` denotes a ghost node.
+    #[inline]
+    pub fn is_ghost(&self, l: Node) -> bool {
+        (l as usize) >= self.n_local()
+    }
+
+    /// Local → global ID translation (owned and ghost).
+    #[inline]
+    pub fn local_to_global(&self, l: Node) -> Node {
+        let nl = self.n_local();
+        if (l as usize) < nl {
+            (self.first_global() + l as u64) as Node
+        } else {
+            self.ghost_global[l as usize - nl]
+        }
+    }
+
+    /// Global → local ID translation; `INVALID_NODE` if `g` is neither
+    /// owned nor a ghost here.
+    #[inline]
+    pub fn global_to_local(&self, g: Node) -> Node {
+        let first = self.first_global();
+        let last = self.dist.last_excl(self.rank);
+        if (g as u64) >= first && (g as u64) < last {
+            (g as u64 - first) as Node
+        } else {
+            self.ghost_map.get(&g).copied().unwrap_or(INVALID_NODE)
+        }
+    }
+
+    /// Owner PE of ghost-local node `l`.
+    #[inline]
+    pub fn ghost_owner_of(&self, l: Node) -> u32 {
+        self.ghost_owner[l as usize - self.n_local()]
+    }
+
+    /// Weight of local node `l` (owned or ghost).
+    #[inline]
+    pub fn node_weight(&self, l: Node) -> Weight {
+        self.node_weight[l as usize]
+    }
+
+    /// Degree of owned node `l`.
+    #[inline]
+    pub fn degree(&self, l: Node) -> usize {
+        (self.xadj[l as usize + 1] - self.xadj[l as usize]) as usize
+    }
+
+    /// Iterates `(target_local, weight)` over the arcs of owned node `l`.
+    #[inline]
+    pub fn neighbors(&self, l: Node) -> impl Iterator<Item = (Node, Weight)> + '_ {
+        let lo = self.xadj[l as usize] as usize;
+        let hi = self.xadj[l as usize + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// True iff owned node `l` has at least one ghost neighbour.
+    #[inline]
+    pub fn is_interface(&self, l: Node) -> bool {
+        self.iface_xadj[l as usize] != self.iface_xadj[l as usize + 1]
+    }
+
+    /// The adjacent PEs of owned interface node `l`.
+    #[inline]
+    pub fn interface_pes(&self, l: Node) -> &[u32] {
+        let lo = self.iface_xadj[l as usize] as usize;
+        let hi = self.iface_xadj[l as usize + 1] as usize;
+        &self.iface_pes[lo..hi]
+    }
+
+    /// All PEs this PE shares a cut arc with.
+    #[inline]
+    pub fn adjacent_pes(&self) -> &[u32] {
+        &self.adjacent_pes
+    }
+
+    /// Number of arcs whose target is a ghost (the paper reports ghost-edge
+    /// fractions to explain Delaunay vs RGG scaling).
+    pub fn ghost_arc_count(&self) -> u64 {
+        let nl = self.n_local();
+        self.adjncy.iter().filter(|&&t| (t as usize) >= nl).count() as u64
+    }
+
+    /// Number of owned arcs.
+    pub fn local_arc_count(&self) -> u64 {
+        self.adjncy.len() as u64
+    }
+
+    /// Weights of the owned nodes (slice of length `n_local`).
+    pub fn owned_weights(&self) -> &[Weight] {
+        &self.node_weight[..self.n_local()]
+    }
+
+    /// Gathers the full global graph onto every PE (used once the coarsest
+    /// level is small enough for the evolutionary algorithm — §IV-E).
+    pub fn gather_global(&self, comm: &Comm) -> CsrGraph {
+        // Exchange (global_u, global_v, w) arcs and (global_u, weight).
+        let mut arcs: Vec<(Node, Node, Weight)> = Vec::with_capacity(self.adjncy.len());
+        for u in 0..self.n_local() as Node {
+            let gu = self.local_to_global(u);
+            for (v, w) in self.neighbors(u) {
+                arcs.push((gu, self.local_to_global(v), w));
+            }
+        }
+        let all_arcs = allgatherv(comm, arcs);
+        let weights = allgatherv(comm, self.owned_weights().to_vec());
+        let n = self.n_global() as usize;
+        assert_eq!(weights.len(), n, "gathered weight count mismatch");
+        // Arcs contain both directions; keep u < v to avoid double insert.
+        let mut b = pgp_graph::GraphBuilder::with_capacity(n, all_arcs.len() / 2);
+        for (u, v, w) in all_arcs {
+            if u < v {
+                b.push_edge(u, v, w);
+            }
+        }
+        b.node_weights(weights).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use pgp_graph::builder::from_edges;
+
+    fn ring(n: usize) -> CsrGraph {
+        let edges: Vec<(Node, Node)> = (0..n)
+            .map(|i| (i as Node, ((i + 1) % n) as Node))
+            .collect();
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn block_dist_covers_everything() {
+        for n in [0u64, 1, 7, 8, 9, 100] {
+            for p in [1usize, 2, 3, 8] {
+                let d = BlockDist::new(n, p);
+                let total: u64 = (0..p).map(|r| d.count(r) as u64).sum();
+                assert_eq!(total, n, "n={n} p={p}");
+                for g in 0..n {
+                    let r = d.owner(g as Node);
+                    assert!(d.first(r) <= g && g < d.last_excl(r), "n={n} p={p} g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_global_partitions_ring() {
+        let g = ring(10);
+        let stats = run(4, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            (dg.n_local(), dg.n_ghost(), dg.total_edge_weight(), dg.m_global())
+        });
+        let total_local: usize = stats.iter().map(|s| s.0).sum();
+        assert_eq!(total_local, 10);
+        for &(_, _, tw, m) in &stats {
+            assert_eq!(tw, 10);
+            assert_eq!(m, 10);
+        }
+        // Interior PEs of a ring see exactly 2 ghosts.
+        assert!(stats.iter().all(|s| s.1 == 2));
+    }
+
+    #[test]
+    fn id_translation_roundtrip() {
+        let g = ring(13);
+        run(3, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            for l in 0..(dg.n_local() + dg.n_ghost()) as Node {
+                let gid = dg.local_to_global(l);
+                assert_eq!(dg.global_to_local(gid), l);
+            }
+            // A global ID that is neither owned nor ghost maps to INVALID.
+            // On a 13-ring split 3 ways, PE 0 owns 0..5 with ghosts 5 and 12.
+            if comm.rank() == 0 {
+                assert_eq!(dg.global_to_local(8), INVALID_NODE);
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_owners_and_interfaces() {
+        let g = ring(12);
+        run(3, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            // Every ghost's owner differs from our rank.
+            for l in dg.n_local() as Node..(dg.n_local() + dg.n_ghost()) as Node {
+                assert_ne!(dg.ghost_owner_of(l) as usize, comm.rank());
+            }
+            // Ring: first and last owned nodes are interface nodes.
+            assert!(dg.is_interface(0));
+            assert!(dg.is_interface(dg.n_local() as Node - 1));
+            // Middle ones are not (each PE owns 4 nodes).
+            assert!(!dg.is_interface(1));
+            assert_eq!(dg.adjacent_pes().len(), 2);
+        });
+    }
+
+    #[test]
+    fn node_weights_include_ghosts() {
+        let g = pgp_graph::GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .node_weights(vec![10, 20, 30, 40])
+            .build();
+        run(2, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            assert_eq!(dg.total_node_weight(), 100);
+            if comm.rank() == 0 {
+                // owns {0,1}, ghost {2} with weight 30
+                let ghost = dg.global_to_local(2);
+                assert!(dg.is_ghost(ghost));
+                assert_eq!(dg.node_weight(ghost), 30);
+            }
+        });
+    }
+
+    #[test]
+    fn from_arcs_matches_from_global() {
+        let g = ring(9);
+        run(3, |comm| {
+            let a = DistGraph::from_global(comm, &g);
+            // Reconstruct via the fully distributed path.
+            let mut arcs = Vec::new();
+            for u in 0..a.n_local() as Node {
+                let gu = a.local_to_global(u);
+                for (v, w) in a.neighbors(u) {
+                    arcs.push((gu, a.local_to_global(v), w));
+                }
+            }
+            let b = DistGraph::from_arcs(comm, 9, a.owned_weights().to_vec(), arcs);
+            assert_eq!(a.n_local(), b.n_local());
+            assert_eq!(a.n_ghost(), b.n_ghost());
+            assert_eq!(a.total_edge_weight(), b.total_edge_weight());
+            for l in 0..(a.n_local() + a.n_ghost()) as Node {
+                assert_eq!(a.local_to_global(l), b.local_to_global(l));
+                assert_eq!(a.node_weight(l), b.node_weight(l));
+            }
+        });
+    }
+
+    #[test]
+    fn gather_global_roundtrips() {
+        let g = ring(11);
+        let gathered = run(3, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            dg.gather_global(comm)
+        });
+        for gg in gathered {
+            assert_eq!(gg, g);
+        }
+    }
+
+    #[test]
+    fn single_pe_has_no_ghosts() {
+        let g = ring(6);
+        run(1, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            assert_eq!(dg.n_local(), 6);
+            assert_eq!(dg.n_ghost(), 0);
+            assert_eq!(dg.ghost_arc_count(), 0);
+            assert!(dg.adjacent_pes().is_empty());
+        });
+    }
+
+    #[test]
+    fn more_pes_than_nodes() {
+        let g = ring(3);
+        let counts = run(6, |comm| {
+            let dg = DistGraph::from_global(comm, &g);
+            dg.n_local()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! Distributed message passing substrate ("dmp").
+//!
+//! The paper's implementation is C++ + MPI on an InfiniBand cluster. This
+//! crate substitutes that substrate: it runs `p` *processing elements* (PEs)
+//! as OS threads, each holding only its own data, communicating exclusively
+//! through typed point-to-point messages and MPI-style collectives. No
+//! algorithm built on this crate shares mutable graph state between PEs —
+//! the communication structure is the MPI program's (see DESIGN.md §2).
+//!
+//! Contents:
+//! * [`comm`] — mailboxes, tags, selective receive ([`Comm`]).
+//! * [`runner`] — SPMD execution ([`run`], [`run_seeded`]).
+//! * [`collectives`] — barrier, broadcast, reduce, allreduce, exscan,
+//!   gather, allgather(v), alltoallv.
+//! * [`dgraph`] — the distributed graph of Section IV-A: contiguous node
+//!   ranges, ghost nodes, global↔local ID maps, per-adjacent-PE buffers.
+//! * [`exchange`] — the phase-overlapped ghost-label exchange of §IV-A.
+
+pub mod collectives;
+pub mod comm;
+pub mod dgraph;
+pub mod exchange;
+pub mod runner;
+
+pub use comm::{Comm, Tag, Universe};
+pub use dgraph::DistGraph;
+pub use exchange::LabelExchange;
+pub use runner::{mix_seed, run, run_seeded, run_timed, thread_cpu_seconds};

@@ -1,0 +1,164 @@
+//! SPMD runner: executes one closure per simulated PE on its own OS thread.
+
+use crate::comm::{Comm, Universe};
+
+/// Runs `f` on `p` PEs (threads); returns the per-rank results in rank
+/// order. Panics in any PE propagate once all threads have been joined.
+///
+/// ```
+/// let sums = pgp_dmp::run(4, |comm| {
+///     pgp_dmp::collectives::allreduce_sum(comm, comm.rank() as u64)
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let universe = Universe::new(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let comm = universe.comm(rank);
+            let f = &f;
+            handles.push(scope.spawn(move || f(&comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+/// Like [`run`], but hands each PE a mutable per-rank seed value derived
+/// from `seed` (`seed ⊕ rank`-style mixing) — the convention used across the
+/// workspace for deterministic parallel randomness.
+pub fn run_seeded<R, F>(p: usize, seed: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm, u64) -> R + Sync,
+{
+    run(p, |comm| {
+        let rank_seed = mix_seed(seed, comm.rank() as u64);
+        f(comm, rank_seed)
+    })
+}
+
+/// Like [`run`], but also measures each PE's *thread CPU time* — the
+/// metric the scaling benchmarks report. On a machine with fewer cores
+/// than PEs, wall-clock time says nothing about parallel scalability; the
+/// per-PE CPU time is what each PE would spend on a dedicated core, so
+/// `max` over PEs approximates the parallel makespan (communication is
+/// in-process and therefore nearly free, akin to the paper's low-latency
+/// InfiniBand at these message sizes — see EXPERIMENTS.md).
+pub fn run_timed<R, F>(p: usize, f: F) -> (Vec<R>, Vec<f64>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let pairs = run(p, |comm| {
+        let t0 = thread_cpu_seconds();
+        let r = f(comm);
+        (r, thread_cpu_seconds() - t0)
+    });
+    pairs.into_iter().unzip()
+}
+
+/// CPU time consumed by the calling thread, in seconds. Linux-only
+/// (`/proc/thread-self/stat`); returns 0.0 when unavailable.
+pub fn thread_cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return 0.0;
+    };
+    // Fields 14 (utime) and 15 (stime) in clock ticks, counted after the
+    // parenthesized comm field (which may contain spaces).
+    let Some(rest) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // rest begins at field 3 ("state"), so utime/stime are at 11/12.
+    let (Some(ut), Some(st)) = (fields.get(11), fields.get(12)) else {
+        return 0.0;
+    };
+    let ticks: f64 = ut.parse::<u64>().unwrap_or(0) as f64 + st.parse::<u64>().unwrap_or(0) as f64;
+    ticks / 100.0 // USER_HZ is 100 on Linux
+}
+
+/// SplitMix64-style mixing of a global seed and a rank.
+pub fn mix_seed(seed: u64, rank: u64) -> u64 {
+    let mut z = seed ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let r = run(8, |comm| comm.rank() * 10);
+        assert_eq!(r, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_pe_works() {
+        let r = run(1, |comm| comm.size());
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic_and_rank_distinct() {
+        let a = run_seeded(4, 99, |_, s| s);
+        let b = run_seeded(4, 99, |_, s| s);
+        assert_eq!(a, b);
+        // All rank seeds differ.
+        let mut c = a.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "pe boom")]
+    fn panics_propagate() {
+        run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("pe boom");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod cpu_time_tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_time_advances_under_load() {
+        let t0 = thread_cpu_seconds();
+        // Burn ~50ms of CPU.
+        let mut acc = 0u64;
+        let start = std::time::Instant::now();
+        while start.elapsed().as_millis() < 60 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_seconds();
+        assert!(t1 >= t0, "cpu time went backwards");
+        assert!(t1 - t0 < 10.0, "implausible cpu delta {}", t1 - t0);
+    }
+
+    #[test]
+    fn run_timed_reports_per_pe_times() {
+        let (results, times) = run_timed(3, |comm| comm.rank());
+        assert_eq!(results, vec![0, 1, 2]);
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|&t| (0.0..10.0).contains(&t)));
+    }
+}

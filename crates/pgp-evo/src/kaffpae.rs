@@ -1,0 +1,246 @@
+//! KaFFPaE — the coarse-grained distributed evolutionary algorithm
+//! (Section II-C, used at the coarsest level of the parallel system).
+//!
+//! Every PE holds a copy of the (coarsest) graph and its own population.
+//! PEs run combine/mutation operations locally; from time to time the best
+//! local individual is sent to a random selection of other PEs (randomized
+//! rumor spreading); incoming individuals are drained opportunistically and
+//! inserted. At the end the globally best partition is selected with one
+//! `allreduce` and broadcast.
+
+use crate::population::Population;
+use crate::rumor::Rumor;
+use pgp_dmp::collectives::{allreduce_min_with_rank, broadcast};
+use pgp_dmp::Comm;
+use pgp_graph::{BlockId, CsrGraph, Partition};
+use pgp_seq::{kaffpa, kaffpa_with_inputs, KaffpaConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Effort budget for the evolutionary loop (after the initial population).
+#[derive(Clone, Copy, Debug)]
+pub enum Budget {
+    /// A fixed number of combine/mutation operations per PE. Deterministic
+    /// when rumor spreading is disabled.
+    Operations(usize),
+    /// Wall-clock time per PE (the paper's `t_p = t_1 / p`).
+    Time(Duration),
+}
+
+/// KaFFPaE configuration.
+#[derive(Clone, Debug)]
+pub struct EvoConfig {
+    /// Number of blocks.
+    pub k: usize,
+    /// Balance slack.
+    pub eps: f64,
+    /// Per-PE population size.
+    pub population_size: usize,
+    /// Evolutionary budget after the initial population is built.
+    pub budget: Budget,
+    /// Probability of a mutation (fresh multilevel run with a random
+    /// cluster factor) instead of a combine.
+    pub mutation_rate: f64,
+    /// Send the best individual to this many random PEs every
+    /// `rumor_interval` operations (0 disables rumor spreading).
+    pub rumor_fanout: usize,
+    /// Operations between rumor rounds.
+    pub rumor_interval: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// What the selection minimizes (§VI extension; the multilevel engine
+    /// still optimizes the cut internally).
+    pub objective: crate::Objective,
+}
+
+impl EvoConfig {
+    /// The fast-configuration setting: only the initial population, no
+    /// evolutionary loop (the paper's *fast* gives KaFFPaE "only enough
+    /// time to compute the initial population").
+    pub fn initial_only(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            eps: 0.03,
+            population_size: 3,
+            budget: Budget::Operations(0),
+            mutation_rate: 0.1,
+            rumor_fanout: 1,
+            rumor_interval: 4,
+            seed,
+            objective: crate::Objective::EdgeCut,
+        }
+    }
+
+    /// An eco-style setting with an explicit operation budget.
+    pub fn with_operations(k: usize, ops: usize, seed: u64) -> Self {
+        Self {
+            budget: Budget::Operations(ops),
+            population_size: 5,
+            ..Self::initial_only(k, seed)
+        }
+    }
+}
+
+fn base_kaffpa_config(cfg: &EvoConfig, seed: u64, cluster_factor: f64) -> KaffpaConfig {
+    let mut kc = KaffpaConfig::new(cfg.k, seed);
+    kc.eps = cfg.eps;
+    kc.cluster_factor = cluster_factor;
+    kc
+}
+
+/// Runs KaFFPaE on a replicated `graph`. `seed_individual`, when given
+/// (iterated V-cycles), joins every PE's initial population, so the result
+/// is never worse than it. Returns the globally best partition (identical
+/// on every PE).
+pub fn kaffpae(
+    comm: &Comm,
+    graph: &CsrGraph,
+    cfg: &EvoConfig,
+    seed_individual: Option<&Partition>,
+) -> Partition {
+    let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(cfg.seed, comm.rank() as u64));
+    let mut pop = Population::new(cfg.population_size.max(1));
+    let rumor = Rumor::new(comm);
+
+    // Initial population: independent multilevel runs with diversified
+    // cluster factors (the paper randomizes f in later cycles).
+    let insert_scored = |pop: &mut Population, p: &Partition| {
+        let score = cfg.objective.score(graph, p);
+        pop.insert_raw(p.assignment().to_vec(), score)
+    };
+    if let Some(seed_p) = seed_individual {
+        insert_scored(&mut pop, seed_p);
+    }
+    let initial_runs = cfg.population_size.saturating_sub(pop.len()).max(1);
+    for i in 0..initial_runs {
+        let f = rng.gen_range(10.0..25.0);
+        let kc = base_kaffpa_config(cfg, rng.gen::<u64>() ^ (i as u64), f);
+        let p = kaffpa(graph, &kc);
+        insert_scored(&mut pop, &p);
+        rumor.drain_into(comm, graph, &mut pop);
+    }
+
+    // Evolutionary loop.
+    let start = Instant::now();
+    let mut op = 0usize;
+    loop {
+        let proceed = match cfg.budget {
+            Budget::Operations(n) => op < n,
+            Budget::Time(t) => start.elapsed() < t,
+        };
+        if !proceed {
+            break;
+        }
+        op += 1;
+        rumor.drain_into(comm, graph, &mut pop);
+
+        let offspring = if rng.gen::<f64>() < cfg.mutation_rate || pop.len() < 2 {
+            // Mutation: fresh diversified run.
+            let f = rng.gen_range(10.0..25.0);
+            let kc = base_kaffpa_config(cfg, rng.gen(), f);
+            kaffpa(graph, &kc)
+        } else {
+            // Combine: two parents, offspring at least as good as the
+            // better one.
+            let (a, b) = pop.pick_parents(&mut rng).expect("len >= 2");
+            let pa = Partition::from_assignment(
+                graph,
+                cfg.k,
+                pop.members()[a].assignment.clone(),
+            );
+            let pb = Partition::from_assignment(
+                graph,
+                cfg.k,
+                pop.members()[b].assignment.clone(),
+            );
+            let f = rng.gen_range(10.0..25.0);
+            let kc = base_kaffpa_config(cfg, rng.gen(), f);
+            kaffpa_with_inputs(graph, &kc, &[&pa, &pb])
+        };
+        insert_scored(&mut pop, &offspring);
+
+        // Rumor spreading: push the best to a few random PEs.
+        if cfg.rumor_fanout > 0 && op.is_multiple_of(cfg.rumor_interval.max(1)) {
+            if let Some(best) = pop.best() {
+                rumor.spread(comm, &mut rng, cfg.rumor_fanout, best);
+            }
+        }
+    }
+    rumor.drain_into(comm, graph, &mut pop);
+
+    // Global winner: (cut, rank) min-reduction, then broadcast the winning
+    // assignment.
+    let local_best_score = pop.best().map(|b| b.score).unwrap_or(u64::MAX);
+    let (_, winner) = allreduce_min_with_rank(comm, local_best_score);
+    let payload: Option<Vec<BlockId>> = if comm.rank() == winner {
+        Some(pop.best().expect("winner has a best").assignment.clone())
+    } else {
+        None
+    };
+    let assignment = broadcast(comm, winner, payload);
+    Partition::from_assignment(graph, cfg.k, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_dmp::run;
+
+    #[test]
+    fn all_pes_agree_on_the_result() {
+        let (g, _) = pgp_gen::sbm::sbm(300, pgp_gen::sbm::SbmParams::default(), 3);
+        let cfg = EvoConfig::with_operations(4, 2, 7);
+        let results = run(3, |comm| kaffpae(comm, &g, &cfg, None).into_assignment());
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn result_is_valid_and_balanced() {
+        let (g, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 5);
+        let cfg = EvoConfig::with_operations(4, 3, 11);
+        let results = run(2, |comm| kaffpae(comm, &g, &cfg, None));
+        for p in &results {
+            p.validate(&g, 0.03).unwrap();
+        }
+    }
+
+    #[test]
+    fn seed_individual_bounds_the_result() {
+        let g = pgp_gen::mesh::grid2d(14, 14);
+        let seed_p = pgp_seq::kaffpa(&g, &KaffpaConfig::new(2, 9));
+        let seed_cut = seed_p.edge_cut(&g);
+        let cfg = EvoConfig::with_operations(2, 2, 3);
+        let results = run(2, |comm| {
+            kaffpae(comm, &g, &cfg, Some(&seed_p)).edge_cut(&g)
+        });
+        for &cut in &results {
+            assert!(cut <= seed_cut, "evo result {cut} worse than seed {seed_cut}");
+        }
+    }
+
+    #[test]
+    fn evolution_improves_over_initial_only() {
+        let (g, _) = pgp_gen::sbm::sbm(500, pgp_gen::sbm::SbmParams::default(), 13);
+        let initial = EvoConfig {
+            rumor_fanout: 0,
+            ..EvoConfig::initial_only(8, 21)
+        };
+        let evolved = EvoConfig {
+            rumor_fanout: 0,
+            ..EvoConfig::with_operations(8, 6, 21)
+        };
+        let a = run(2, |comm| kaffpae(comm, &g, &initial, None).edge_cut(&g))[0];
+        let b = run(2, |comm| kaffpae(comm, &g, &evolved, None).edge_cut(&g))[0];
+        assert!(b <= a, "evolved {b} should not be worse than initial-only {a}");
+    }
+
+    #[test]
+    fn single_pe_works() {
+        let g = pgp_gen::mesh::grid2d(10, 10);
+        let cfg = EvoConfig::with_operations(2, 2, 5);
+        let results = run(1, |comm| kaffpae(comm, &g, &cfg, None));
+        results[0].validate(&g, 0.03).unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Alternative optimization objectives for the evolutionary algorithm —
+//! the paper's §VI future-work item: "it might be interesting to integrate
+//! other objective functions such as maximum/total communication volume
+//! … into the evolutionary algorithm which is called on the coarsest
+//! graph".
+//!
+//! The multilevel engines keep optimizing the edge cut (it correlates with
+//! everything else, as the paper's introduction argues); the *selection
+//! pressure* — which individuals survive, spread and win — follows the
+//! configured objective.
+
+use pgp_graph::metrics::communication_volume;
+use pgp_graph::{CsrGraph, Partition, Weight};
+
+/// What the evolutionary selection minimizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Objective {
+    /// Total weight of cut edges (the paper's primary objective).
+    #[default]
+    EdgeCut,
+    /// Total communication volume over all blocks.
+    TotalCommVolume,
+    /// The worst block's communication volume (the "most loaded PE"
+    /// formulation of Hendrickson & Kolda the paper cites).
+    MaxCommVolume,
+}
+
+impl Objective {
+    /// Scores a partition (lower is better).
+    pub fn score(&self, graph: &CsrGraph, partition: &Partition) -> Weight {
+        match self {
+            Objective::EdgeCut => partition.edge_cut(graph),
+            Objective::TotalCommVolume => communication_volume(graph, partition).0,
+            Objective::MaxCommVolume => communication_volume(graph, partition).1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::builder::from_edges;
+
+    #[test]
+    fn objectives_disagree_where_they_should() {
+        // A star center in block 0 with leaves split over blocks 1 and 2:
+        // cut = 4, total volume = center(2) + leaves(4) = 6, max = 4
+        // (center's block sends to 2, each leaf block to 1... volumes are
+        // per-block sums).
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let p = Partition::from_assignment(&g, 3, vec![0, 1, 1, 2, 2]);
+        assert_eq!(Objective::EdgeCut.score(&g, &p), 4);
+        let total = Objective::TotalCommVolume.score(&g, &p);
+        let max = Objective::MaxCommVolume.score(&g, &p);
+        assert_eq!(total, 2 + 2 + 2); // block0: 2 distinct targets; blocks 1,2: 2 leaves x 1
+        assert!(max <= total);
+        assert!(max >= 2);
+    }
+
+    #[test]
+    fn default_is_edge_cut() {
+        assert_eq!(Objective::default(), Objective::EdgeCut);
+    }
+}

@@ -1,0 +1,87 @@
+//! Barabási–Albert preferential attachment — a social-network stand-in
+//! with a heavy-tailed degree distribution (hubs are exactly what makes
+//! matching-based coarsening stall, per the paper's ParMetis analysis).
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// BA graph: starts from a small clique of `m0 = m_attach` nodes, then each
+/// new node attaches `m_attach` edges to existing nodes with probability
+/// proportional to their degree (repeated-endpoint sampling).
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "need at least one attachment per node");
+    assert!(n > m_attach, "n must exceed the seed clique size");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // `targets` holds each edge endpoint twice: sampling uniformly from it
+    // is degree-proportional sampling.
+    let mut targets: Vec<Node> = Vec::with_capacity(2 * n * m_attach);
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    let m0 = m_attach.max(2);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            b.push_edge(u as Node, v as Node, 1);
+            targets.push(u as Node);
+            targets.push(v as Node);
+        }
+    }
+    let mut chosen: Vec<Node> = Vec::with_capacity(m_attach);
+    for u in m0..n {
+        chosen.clear();
+        // Sample m distinct targets (retry duplicates).
+        while chosen.len() < m_attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.push_edge(u as Node, t, 1);
+            targets.push(u as Node);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_connectivity() {
+        let g = barabasi_albert(500, 3, 1);
+        assert_eq!(g.n(), 500);
+        // clique(3) + 497 * 3
+        assert_eq!(g.m(), 3 + 497 * 3);
+        assert!(g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = barabasi_albert(2000, 2, 7);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        // BA hubs grow like sqrt(n): max degree far above average.
+        assert!(max > 8.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 4, 3);
+        assert!(g.nodes().all(|v| g.degree(v) >= 4));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+        assert_ne!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_tiny_n() {
+        barabasi_albert(2, 2, 1);
+    }
+}

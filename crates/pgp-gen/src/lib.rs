@@ -1,0 +1,104 @@
+//! Graph generators for the ParHIP reproduction.
+//!
+//! Two families come straight from the paper's evaluation (Section V-A):
+//!
+//! * [`rgg`] — `rggX`: random geometric graphs of `2^X` points in the unit
+//!   square with connection radius `0.55·sqrt(ln n / n)`.
+//! * [`delaunay`] — `delX`: Delaunay triangulations of `2^X` random points
+//!   in the unit square (a from-scratch Bowyer–Watson implementation).
+//!
+//! The remaining generators produce *stand-ins* for the paper's real-world
+//! benchmark graphs (which are not redistributable): [`rmat`] and
+//! [`ba`] for web/social graphs with heavy-tailed degrees, [`sbm`] for
+//! social networks with planted community structure, [`mesh`] for the
+//! mesh-type instances, [`er`] and [`ws`] as classical references.
+//! [`benchmark_set`] assembles scaled versions of Table I from these.
+//!
+//! All generators are deterministic functions of their seed.
+
+pub mod ba;
+pub mod benchmark_set;
+pub mod delaunay;
+pub mod er;
+pub mod mesh;
+pub mod rgg;
+pub mod rmat;
+pub mod sbm;
+pub mod webgraph;
+pub mod ws;
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+
+/// Connects a possibly disconnected graph by linking one representative of
+/// each connected component to a representative of the next (chain of
+/// bridges). Returns the input unchanged when already connected.
+///
+/// The paper's rgg radius is chosen so the graph is "almost certainly
+/// connected"; at our scaled-down sizes stragglers occasionally appear, and
+/// several partitioners (region growing in particular) behave better on
+/// connected inputs.
+pub fn ensure_connected(graph: CsrGraph) -> CsrGraph {
+    let n = graph.n();
+    if n == 0 {
+        return graph;
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut reps: Vec<Node> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let c = reps.len();
+        reps.push(s as Node);
+        comp[s] = c;
+        queue.push_back(s as Node);
+        while let Some(u) = queue.pop_front() {
+            for v in graph.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = c;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    if reps.len() <= 1 {
+        return graph;
+    }
+    let mut b = GraphBuilder::with_capacity(n, graph.m() + reps.len());
+    for (u, v, w) in graph.edges() {
+        b.push_edge(u, v, w);
+    }
+    for w in reps.windows(2) {
+        b.push_edge(w[0], w[1], 1);
+    }
+    b.node_weights(graph.node_weights().to_vec()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::builder::from_edges;
+
+    #[test]
+    fn ensure_connected_bridges_components() {
+        let g = from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        assert!(!g.is_connected());
+        let c = ensure_connected(g);
+        assert!(c.is_connected());
+        assert_eq!(c.m(), 5);
+    }
+
+    #[test]
+    fn ensure_connected_is_identity_on_connected() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let c = ensure_connected(g.clone());
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn ensure_connected_handles_empty() {
+        let g = CsrGraph::empty();
+        assert_eq!(ensure_connected(g).n(), 0);
+    }
+}

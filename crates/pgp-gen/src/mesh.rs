@@ -1,0 +1,116 @@
+//! Regular mesh generators — stand-ins for the paper's mesh-type ("M")
+//! instances (packing, channel, hugebubbles, nlpkkt240): bounded degree,
+//! strong locality, no community structure.
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+
+/// An `nx × ny` 4-neighbour grid.
+pub fn grid2d(nx: usize, ny: usize) -> CsrGraph {
+    let n = nx * ny;
+    let id = |x: usize, y: usize| (y * nx + x) as Node;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.push_edge(id(x, y), id(x + 1, y), 1);
+            }
+            if y + 1 < ny {
+                b.push_edge(id(x, y), id(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// An `nx × ny` grid with wrap-around edges (torus).
+pub fn torus2d(nx: usize, ny: usize) -> CsrGraph {
+    assert!(nx >= 3 && ny >= 3, "torus needs at least 3 nodes per dimension");
+    let n = nx * ny;
+    let id = |x: usize, y: usize| (y * nx + x) as Node;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            b.push_edge(id(x, y), id((x + 1) % nx, y), 1);
+            b.push_edge(id(x, y), id(x, (y + 1) % ny), 1);
+        }
+    }
+    b.build()
+}
+
+/// An `nx × ny × nz` 6-neighbour grid.
+pub fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    let n = nx * ny * nz;
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as Node;
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    b.push_edge(id(x, y, z), id(x + 1, y, z), 1);
+                }
+                if y + 1 < ny {
+                    b.push_edge(id(x, y, z), id(x, y + 1, z), 1);
+                }
+                if z + 1 < nz {
+                    b.push_edge(id(x, y, z), id(x, y, z + 1), 1);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_counts() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.n(), 12);
+        // horizontal: 3*3, vertical: 4*2
+        assert_eq!(g.m(), 9 + 8);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid2d_degenerate_path() {
+        let g = grid2d(5, 1);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus2d(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid3d_counts() {
+        let g = grid3d(3, 3, 3);
+        assert_eq!(g.n(), 27);
+        // 3 directions * 2*3*3 internal links each
+        assert_eq!(g.m(), 54);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn grid_bisection_cut_is_sqrt_like() {
+        // The optimal vertical bisection of a 16x16 grid cuts 16 edges; a
+        // good partitioner relies on this structure existing.
+        let g = grid2d(16, 16);
+        let assign: Vec<u32> = (0..256).map(|i| if i % 16 < 8 { 0 } else { 1 }).collect();
+        let p = pgp_graph::Partition::from_assignment(&g, 2, assign);
+        assert_eq!(p.edge_cut(&g), 16);
+        assert!(p.is_balanced(&g, 0.0));
+    }
+}

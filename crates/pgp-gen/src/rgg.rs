@@ -1,0 +1,142 @@
+//! Random geometric graphs — the paper's `rggX` family (Section V-A):
+//! `2^X` points uniform in the unit square, an edge whenever the Euclidean
+//! distance is below `0.55·sqrt(ln n / n)` (chosen by the paper so the
+//! graph is almost certainly connected).
+//!
+//! Generation uses grid bucketing with cell size = radius, so only the 3×3
+//! cell neighbourhood must be scanned per point: `O(n + m)` expected.
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's connection radius for `n` points.
+pub fn paper_radius(n: usize) -> f64 {
+    assert!(n >= 2);
+    0.55 * ((n as f64).ln() / n as f64).sqrt()
+}
+
+/// `rggX`: `2^x` points with the paper's radius.
+pub fn rgg_x(x: u32, seed: u64) -> CsrGraph {
+    let n = 1usize << x;
+    rgg(n, paper_radius(n), seed)
+}
+
+/// Random geometric graph over `n` uniform points with connection radius
+/// `radius`. Node `i` corresponds to point `i`; points are also returned by
+/// [`rgg_with_points`] when coordinates are needed.
+pub fn rgg(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    rgg_with_points(n, radius, seed).0
+}
+
+/// As [`rgg`], additionally returning the point coordinates (used by the
+/// Delaunay tests for cross-checking and by geometric examples).
+pub fn rgg_with_points(n: usize, radius: f64, seed: u64) -> (CsrGraph, Vec<(f64, f64)>) {
+    assert!(radius > 0.0, "radius must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let g = geometric_graph(&points, radius);
+    (g, points)
+}
+
+/// Builds the geometric graph of explicit points (edge iff distance <
+/// radius). Grid-bucketed.
+pub fn geometric_graph(points: &[(f64, f64)], radius: f64) -> CsrGraph {
+    let n = points.len();
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 1 << 14);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    // Bucket points.
+    let mut bucket_head = vec![u32::MAX; cells * cells];
+    let mut bucket_next = vec![u32::MAX; n];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let c = cell_of(y) * cells + cell_of(x);
+        bucket_next[i] = bucket_head[c];
+        bucket_head[c] = i as u32;
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        let x_lo = cx.saturating_sub(1);
+        let y_lo = cy.saturating_sub(1);
+        for gy in y_lo..=(cy + 1).min(cells - 1) {
+            for gx in x_lo..=(cx + 1).min(cells - 1) {
+                let mut j = bucket_head[gy * cells + gx];
+                while j != u32::MAX {
+                    // Each pair once: only link to larger indices.
+                    if (j as usize) > i {
+                        let (px, py) = points[j as usize];
+                        let (dx, dy) = (px - x, py - y);
+                        if dx * dx + dy * dy < r2 {
+                            b.push_edge(i as Node, j, 1);
+                        }
+                    }
+                    j = bucket_next[j as usize];
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgg_matches_brute_force() {
+        let n = 300;
+        let r = 0.08;
+        let (g, pts) = rgg_with_points(n, r, 11);
+        let mut expect = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                if dx * dx + dy * dy < r * r {
+                    expect.push_edge(i as Node, j as Node, 1);
+                }
+            }
+        }
+        assert_eq!(g, expect.build());
+    }
+
+    #[test]
+    fn rgg_x_is_reasonably_dense_and_nearly_connected() {
+        let g = rgg_x(10, 3);
+        assert_eq!(g.n(), 1024);
+        // Paper radius targets avg degree ~ 0.55^2 * pi * ln n ≈ 6.6.
+        let avg = g.avg_degree();
+        assert!(avg > 4.0 && avg < 10.0, "avg degree {avg}");
+        // The paper's radius gives asymptotic connectivity; at this scaled-
+        // down n a handful of stragglers are expected — the giant component
+        // must still dominate.
+        let mut dsu = pgp_graph::dsu::Dsu::new(g.n());
+        for (u, v, _) in g.edges() {
+            dsu.union(u, v);
+        }
+        let giant = g.nodes().map(|v| dsu.set_size(v)).max().unwrap() as usize;
+        assert!(giant > g.n() * 95 / 100, "giant component {giant} of {}", g.n());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rgg_deterministic_per_seed() {
+        assert_eq!(rgg(500, 0.05, 4), rgg(500, 0.05, 4));
+        assert_ne!(rgg(500, 0.05, 4), rgg(500, 0.05, 5));
+    }
+
+    #[test]
+    fn radius_formula() {
+        let r = paper_radius(1 << 15);
+        let n = (1u64 << 15) as f64;
+        assert!((r - 0.55 * (n.ln() / n).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let g = rgg(2, 2.0, 1); // radius covers the whole square
+        assert_eq!(g.m(), 1);
+        let g0 = geometric_graph(&[], 0.1);
+        assert_eq!(g0.n(), 0);
+    }
+}

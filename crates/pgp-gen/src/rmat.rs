@@ -1,0 +1,116 @@
+//! R-MAT (recursive matrix) generator — the standard model for web-graph
+//! stand-ins: skewed degrees, self-similar community structure.
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant (dense core).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic web-graph parameterisation (Graph500-like).
+    pub fn web() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// A flatter social-network-like parameterisation.
+    pub fn social() -> Self {
+        Self {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and (up to) `m` distinct
+/// undirected edges; duplicate samples and self loops are dropped, so the
+/// realized edge count is somewhat below `m` — the hallmark skewed degree
+/// structure is what matters for the experiments.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            b.push_edge(u as Node, v as Node, 1);
+        }
+    }
+    b.build()
+}
+
+/// Web-graph stand-in at `2^scale` nodes with average degree `avg_deg`.
+pub fn rmat_web(scale: u32, avg_deg: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    rmat(scale, n * avg_deg / 2, RmatParams::web(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_skewed() {
+        let g = rmat(12, 40_000, RmatParams::web(), 3);
+        assert_eq!(g.n(), 4096);
+        assert!(g.m() > 20_000, "too many duplicates: m = {}", g.m());
+        // Heavy head: max degree far above average.
+        assert!((g.max_degree() as f64) > 10.0 * g.avg_degree());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(10, 5000, RmatParams::social(), 8);
+        let b = rmat(10, 5000, RmatParams::social(), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_web_density() {
+        let g = rmat_web(11, 8, 1);
+        // Realized average degree is below the target due to dedup, but in
+        // the right ballpark.
+        assert!(g.avg_degree() > 3.0 && g.avg_degree() <= 8.0, "{}", g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(4, 10, RmatParams { a: 0.9, b: 0.2, c: 0.1, d: 0.1 }, 1);
+    }
+}

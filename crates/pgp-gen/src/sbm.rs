@@ -1,0 +1,139 @@
+//! Stochastic block model with power-law community sizes — the social-
+//! network stand-in whose *planted community structure* is exactly what the
+//! paper's cluster-contraction coarsening exploits.
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the planted-community generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SbmParams {
+    /// Expected intra-community degree per node.
+    pub intra_degree: f64,
+    /// Expected inter-community degree per node.
+    pub inter_degree: f64,
+    /// Pareto shape for community sizes (smaller = heavier tail).
+    pub size_exponent: f64,
+    /// Minimum community size.
+    pub min_community: usize,
+}
+
+impl Default for SbmParams {
+    fn default() -> Self {
+        Self {
+            intra_degree: 8.0,
+            inter_degree: 2.0,
+            size_exponent: 2.0,
+            min_community: 16,
+        }
+    }
+}
+
+/// Generates an SBM graph of `n` nodes and returns it together with the
+/// ground-truth community of every node.
+pub fn sbm(n: usize, params: SbmParams, seed: u64) -> (CsrGraph, Vec<Node>) {
+    assert!(n >= 2 * params.min_community, "n too small for two communities");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Draw power-law community sizes until n is covered.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    let max_size = (n / 2).max(params.min_community + 1);
+    while covered < n {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // Pareto(min, alpha) truncated at max_size.
+        let s = (params.min_community as f64 / u.powf(1.0 / params.size_exponent)) as usize;
+        let s = s.clamp(params.min_community, max_size).min(n - covered);
+        sizes.push(s);
+        covered += s;
+    }
+    // Absorb a tiny trailing community into its predecessor.
+    if sizes.len() >= 2 && *sizes.last().unwrap() < params.min_community {
+        let last = sizes.pop().unwrap();
+        *sizes.last_mut().unwrap() += last;
+    }
+
+    let mut community = vec![0 as Node; n];
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut at = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        starts.push(at);
+        for slot in community.iter_mut().skip(at).take(s) {
+            *slot = c as Node;
+        }
+        at += s;
+    }
+
+    let mut b = GraphBuilder::new(n);
+    // Intra-community edges: per community of size s, expected s*intra/2.
+    for (c, &s) in sizes.iter().enumerate() {
+        if s < 2 {
+            continue;
+        }
+        let start = starts[c] as Node;
+        let want = ((s as f64) * params.intra_degree / 2.0).round() as usize;
+        let possible = s * (s - 1) / 2;
+        let want = want.min(possible);
+        for _ in 0..want {
+            let u = start + rng.gen_range(0..s as Node);
+            let mut v = start + rng.gen_range(0..s as Node);
+            if u == v {
+                v = start + (v - start + 1) % s as Node;
+            }
+            b.push_edge(u, v, 1);
+        }
+    }
+    // Inter-community edges: expected n*inter/2 random cross pairs.
+    let want_inter = ((n as f64) * params.inter_degree / 2.0).round() as usize;
+    for _ in 0..want_inter {
+        let u = rng.gen_range(0..n as Node);
+        let v = rng.gen_range(0..n as Node);
+        if community[u as usize] != community[v as usize] {
+            b.push_edge(u, v, 1);
+        }
+    }
+    (crate::ensure_connected(b.build()), community)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::metrics::modularity;
+
+    #[test]
+    fn ground_truth_has_high_modularity() {
+        let (g, truth) = sbm(2000, SbmParams::default(), 1);
+        assert_eq!(g.n(), 2000);
+        assert!(g.is_connected());
+        let q = modularity(&g, &truth);
+        assert!(q > 0.3, "planted structure should be strong, Q = {q}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn sizes_respect_minimum() {
+        let (_, truth) = sbm(1000, SbmParams { min_community: 32, ..Default::default() }, 2);
+        let k = *truth.iter().max().unwrap() as usize + 1;
+        let mut counts = vec![0usize; k];
+        for &c in &truth {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 32), "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, ta) = sbm(500, SbmParams::default(), 3);
+        let (b, tb) = sbm(500, SbmParams::default(), 3);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn multiple_communities_exist() {
+        let (_, truth) = sbm(3000, SbmParams::default(), 4);
+        let k = *truth.iter().max().unwrap() as usize + 1;
+        assert!(k >= 10, "expected many communities, got {k}");
+    }
+}

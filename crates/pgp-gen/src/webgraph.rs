@@ -1,0 +1,184 @@
+//! Web-crawl stand-in generator.
+//!
+//! Real web graphs (eu-2005, uk-2002, arabic-2005, sk-2005, uk-2007 …)
+//! combine two properties that drive the paper's results:
+//!
+//! 1. **heavy-tailed degrees** (hub pages) — these make matching-based
+//!    coarsening stall, ParMetis's failure mode;
+//! 2. **very strong community structure** (host-/site-level locality:
+//!    most links stay within a site) — this is what cluster contraction
+//!    exploits to shrink the graph by orders of magnitude.
+//!
+//! Pure R-MAT reproduces (1) but not (2) — it is essentially a scale-free
+//! random graph, on which *no* partitioner can find a small cut. This
+//! generator produces both: power-law-sized communities ("sites"), a
+//! Barabási–Albert preferential-attachment graph *inside* each community
+//! (hub pages), and degree-proportional inter-community edges (links to
+//! popular pages of other sites).
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`web_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct WebGraphParams {
+    /// Average intra-community degree (site-internal links).
+    pub intra_degree: f64,
+    /// Average inter-community degree (cross-site links).
+    pub inter_degree: f64,
+    /// Pareto shape for community ("site") sizes.
+    pub size_exponent: f64,
+    /// Minimum community size.
+    pub min_community: usize,
+}
+
+impl Default for WebGraphParams {
+    fn default() -> Self {
+        Self {
+            intra_degree: 14.0,
+            inter_degree: 2.0,
+            size_exponent: 1.8,
+            min_community: 32,
+        }
+    }
+}
+
+/// Generates a web-crawl stand-in with `n` nodes. Returns the graph and
+/// the ground-truth community (site) of every node.
+pub fn web_graph(n: usize, params: WebGraphParams, seed: u64) -> (CsrGraph, Vec<Node>) {
+    assert!(n >= 2 * params.min_community, "n too small for two sites");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Power-law community sizes.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    let max_size = (n / 2).max(params.min_community + 1);
+    while covered < n {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let s = (params.min_community as f64 / u.powf(1.0 / params.size_exponent)) as usize;
+        let s = s.clamp(params.min_community, max_size).min(n - covered);
+        sizes.push(s);
+        covered += s;
+    }
+    if sizes.len() >= 2 && *sizes.last().unwrap() < params.min_community {
+        let last = sizes.pop().unwrap();
+        *sizes.last_mut().unwrap() += last;
+    }
+
+    let mut community = vec![0 as Node; n];
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling pool per community (BA target trick) and
+    // a global pool for inter-community preferential endpoints.
+    let mut global_pool: Vec<Node> = Vec::with_capacity(2 * n);
+    let mut start = 0usize;
+    let m_attach = ((params.intra_degree / 2.0).round() as usize).max(1);
+    for (c, &s) in sizes.iter().enumerate() {
+        for slot in community.iter_mut().skip(start).take(s) {
+            *slot = c as Node;
+        }
+        // BA inside the community.
+        let mut pool: Vec<Node> = Vec::with_capacity(2 * s * m_attach);
+        let m0 = (m_attach + 1).min(s);
+        for u in 0..m0 {
+            for v in (u + 1)..m0 {
+                b.push_edge((start + u) as Node, (start + v) as Node, 1);
+                pool.push((start + u) as Node);
+                pool.push((start + v) as Node);
+            }
+        }
+        let mut chosen: Vec<Node> = Vec::with_capacity(m_attach);
+        for u in m0..s {
+            chosen.clear();
+            let want = m_attach.min(u);
+            let mut guard = 0;
+            while chosen.len() < want && guard < 64 {
+                let t = pool[rng.gen_range(0..pool.len())];
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+                guard += 1;
+            }
+            for &t in &chosen {
+                b.push_edge((start + u) as Node, t, 1);
+                pool.push((start + u) as Node);
+                pool.push(t);
+            }
+        }
+        global_pool.extend_from_slice(&pool);
+        start += s;
+    }
+
+    // Inter-community links: both endpoints degree-proportional (links
+    // point at popular pages), endpoints in different communities.
+    let want_inter = ((n as f64) * params.inter_degree / 2.0).round() as usize;
+    let mut made = 0usize;
+    let mut guard = 0usize;
+    while made < want_inter && guard < want_inter * 20 {
+        guard += 1;
+        let u = global_pool[rng.gen_range(0..global_pool.len())];
+        let v = global_pool[rng.gen_range(0..global_pool.len())];
+        if community[u as usize] != community[v as usize] {
+            b.push_edge(u, v, 1);
+            made += 1;
+        }
+    }
+    (crate::ensure_connected(b.build()), community)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::metrics::{coverage, modularity};
+
+    #[test]
+    fn has_hubs_and_communities() {
+        let (g, truth) = web_graph(8000, WebGraphParams::default(), 1);
+        assert_eq!(g.n(), 8000);
+        // Heavy tail: hubs far above average.
+        let skew = g.max_degree() as f64 / g.avg_degree();
+        assert!(skew > 5.0, "degree skew {skew}");
+        // Strong community structure.
+        let q = modularity(&g, &truth);
+        assert!(q > 0.4, "modularity {q}");
+        let cov = coverage(&g, &truth);
+        assert!(cov > 0.75, "coverage {cov}");
+        assert!(g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, ta) = web_graph(2000, WebGraphParams::default(), 5);
+        let (b, tb) = web_graph(2000, WebGraphParams::default(), 5);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn density_matches_parameters() {
+        let params = WebGraphParams {
+            intra_degree: 10.0,
+            inter_degree: 2.0,
+            ..Default::default()
+        };
+        let (g, _) = web_graph(5000, params, 3);
+        let avg = g.avg_degree();
+        // Dedup losses make it land below the target but in the ballpark.
+        assert!(avg > 6.0 && avg < 13.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn community_sizes_are_heavy_tailed() {
+        let (_, truth) = web_graph(20_000, WebGraphParams::default(), 7);
+        let k = *truth.iter().max().unwrap() as usize + 1;
+        let mut counts = vec![0usize; k];
+        for &c in &truth {
+            counts[c as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(k > 20, "expected many sites, got {k}");
+        assert!(max > 4 * min, "sizes too uniform: {min}..{max}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with random rewiring.
+
+use pgp_graph::{CsrGraph, GraphBuilder, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz: `n` nodes on a ring, each connected to its `k/2` nearest
+/// neighbours per side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "n must exceed k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let (mut uu, mut vv) = (u as Node, v as Node);
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a random node.
+                let mut w = rng.gen_range(0..n as Node);
+                let mut tries = 0;
+                while w == uu && tries < 16 {
+                    w = rng.gen_range(0..n as Node);
+                    tries += 1;
+                }
+                if w != uu {
+                    vv = w;
+                }
+            }
+            if uu != vv {
+                if uu > vv {
+                    std::mem::swap(&mut uu, &mut vv);
+                }
+                b.push_edge(uu, vv, 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_keeps_count_roughly() {
+        let g = watts_strogatz(500, 6, 0.2, 3);
+        // Dedup after rewiring can only lose a few edges.
+        assert!(g.m() >= 500 * 3 - 60);
+        assert!(g.m() <= 1500);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(64, 4, 0.3, 5), watts_strogatz(64, 4, 0.3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 1);
+    }
+}

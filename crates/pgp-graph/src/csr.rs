@@ -1,0 +1,358 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! The layout mirrors the adjacency-array representation described in
+//! Section IV-A of the paper: one array of head pointers (`xadj`) and one
+//! flat edge array (`adjncy`, `adjwgt`). Undirected edges are stored twice.
+
+use crate::{Node, Weight};
+
+/// An immutable undirected graph in CSR form with node and edge weights.
+///
+/// Invariants (checked by [`CsrGraph::validate`] and upheld by
+/// [`crate::GraphBuilder`]):
+///
+/// * `xadj.len() == n + 1`, `xadj[0] == 0`, `xadj` is non-decreasing and
+///   `xadj[n] == adjncy.len() == adjwgt.len() == m_directed`.
+/// * No self loops; every arc `(u, v)` has a reverse arc `(v, u)` with the
+///   same weight.
+/// * `node_weight.len() == n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    xadj: Vec<u64>,
+    adjncy: Vec<Node>,
+    adjwgt: Vec<Weight>,
+    node_weight: Vec<Weight>,
+    total_node_weight: Weight,
+    total_edge_weight: Weight,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are structurally inconsistent (lengths, pointer
+    /// monotonicity). Symmetry is *not* checked here — call
+    /// [`CsrGraph::validate`] in tests/debug paths for the full invariant.
+    pub fn from_parts(
+        xadj: Vec<u64>,
+        adjncy: Vec<Node>,
+        adjwgt: Vec<Weight>,
+        node_weight: Vec<Weight>,
+    ) -> Self {
+        assert!(!xadj.is_empty(), "xadj must have at least one entry");
+        let n = xadj.len() - 1;
+        assert_eq!(node_weight.len(), n, "node_weight length mismatch");
+        assert_eq!(xadj[0], 0, "xadj must start at 0");
+        assert_eq!(
+            xadj[n] as usize,
+            adjncy.len(),
+            "xadj[n] must equal the number of stored arcs"
+        );
+        assert_eq!(adjncy.len(), adjwgt.len(), "adjncy/adjwgt length mismatch");
+        debug_assert!(
+            xadj.windows(2).all(|w| w[0] <= w[1]),
+            "xadj must be non-decreasing"
+        );
+        let total_node_weight = node_weight.iter().sum();
+        // Every undirected edge is stored twice; halve the arc-weight sum.
+        // (Asymmetric inputs — a broken invariant — are caught by
+        // `validate`, not here, so tests can construct them.)
+        let arc_weight: Weight = adjwgt.iter().sum();
+        let total_edge_weight = arc_weight / 2;
+        Self {
+            xadj,
+            adjncy,
+            adjwgt,
+            node_weight,
+            total_node_weight,
+            total_edge_weight,
+        }
+    }
+
+    /// Builds an unweighted graph (all node and edge weights 1) from CSR
+    /// adjacency arrays.
+    pub fn unweighted(xadj: Vec<u64>, adjncy: Vec<Node>) -> Self {
+        let n = xadj.len() - 1;
+        let m_dir = adjncy.len();
+        Self::from_parts(xadj, adjncy, vec![1; m_dir], vec![1; n])
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        Self::from_parts(vec![0], Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Number of stored arcs (`2 m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// Degree of `v` (number of incident edges).
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
+    }
+
+    /// Weighted degree of `v` (sum of incident edge weights).
+    #[inline]
+    pub fn weighted_degree(&self, v: Node) -> Weight {
+        self.neighbors_weighted(v).map(|(_, w)| w).sum()
+    }
+
+    /// Weight of node `v`.
+    #[inline]
+    pub fn node_weight(&self, v: Node) -> Weight {
+        self.node_weight[v as usize]
+    }
+
+    /// Sum of all node weights, `c(V)`.
+    #[inline]
+    pub fn total_node_weight(&self) -> Weight {
+        self.total_node_weight
+    }
+
+    /// Sum of all edge weights, `ω(E)`.
+    #[inline]
+    pub fn total_edge_weight(&self) -> Weight {
+        self.total_edge_weight
+    }
+
+    /// Iterates over the neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> impl Iterator<Item = Node> + '_ {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        self.adjncy[lo..hi].iter().copied()
+    }
+
+    /// Iterates over `(neighbor, edge_weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors_weighted(&self, v: Node) -> impl Iterator<Item = (Node, Weight)> + '_ {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// The neighbor slice of `v` (no weights).
+    #[inline]
+    pub fn neighbor_slice(&self, v: Node) -> &[Node] {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        &self.adjncy[lo..hi]
+    }
+
+    /// Iterates over all nodes.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = Node> {
+        0..self.n() as Node
+    }
+
+    /// Iterates over every undirected edge `{u, v}` exactly once (as
+    /// `(u, v, w)` with `u < v`).
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, Weight)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors_weighted(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Raw CSR access: head-pointer array (`n + 1` entries).
+    #[inline]
+    pub fn xadj(&self) -> &[u64] {
+        &self.xadj
+    }
+
+    /// Raw CSR access: flat neighbor array.
+    #[inline]
+    pub fn adjncy(&self) -> &[Node] {
+        &self.adjncy
+    }
+
+    /// Raw CSR access: flat edge-weight array (parallel to `adjncy`).
+    #[inline]
+    pub fn adjwgt(&self) -> &[Weight] {
+        &self.adjwgt
+    }
+
+    /// Raw access: node weights.
+    #[inline]
+    pub fn node_weights(&self) -> &[Weight] {
+        &self.node_weight
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.n() as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Checks the full structural invariant (symmetry, no self loops,
+    /// in-range targets). Intended for tests and debug assertions; runs in
+    /// `O(m log m)` time and `O(m)` space.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n() as Node;
+        for u in self.nodes() {
+            for (v, w) in self.neighbors_weighted(u) {
+                if v >= n {
+                    return Err(format!("arc ({u},{v}) points outside the graph"));
+                }
+                if v == u {
+                    return Err(format!("self loop at {u}"));
+                }
+                if w == 0 {
+                    return Err(format!("zero-weight arc ({u},{v})"));
+                }
+            }
+        }
+        // Symmetry: the multiset of (u,v,w) must equal the multiset of (v,u,w).
+        let mut fwd: Vec<(Node, Node, Weight)> = Vec::with_capacity(self.num_arcs());
+        for u in self.nodes() {
+            for (v, w) in self.neighbors_weighted(u) {
+                fwd.push((u, v, w));
+            }
+        }
+        let mut rev: Vec<(Node, Node, Weight)> = fwd.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        if fwd != rev {
+            return Err("adjacency is not symmetric".to_string());
+        }
+        Ok(())
+    }
+
+    /// Returns true iff the graph is connected (the empty graph counts as
+    /// connected). BFS, `O(n + m)`.
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0 as Node);
+        let mut count = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.total_node_weight(), 3);
+        assert_eq!(g.total_edge_weight(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+            assert_eq!(g.weighted_degree(v), 2);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.avg_degree(), 0.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(4).add_edge(0, 1).build();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 2, 1), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let disconnected = GraphBuilder::new(4).add_edge(0, 1).add_edge(2, 3).build();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        // Hand-build a broken graph: arc 0->1 without 1->0.
+        let g = CsrGraph::from_parts(vec![0, 1, 1], vec![1], vec![1], vec![1, 1]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = CsrGraph::from_parts(vec![0, 1, 1], vec![0], vec![1], vec![1, 1]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn max_degree_and_avg_degree() {
+        let star = GraphBuilder::new(5)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .add_edge(0, 4)
+            .build();
+        assert_eq!(star.max_degree(), 4);
+        assert!((star.avg_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+//!
+//! Used by generators (connectivity repair) and by matching-based
+//! coarsening tests.
+
+use crate::Node;
+
+/// A union-find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<Node>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as Node).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `v` (path halving).
+    pub fn find(&mut self, mut v: Node) -> Node {
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Unites the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: Node, b: Node) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// True iff `a` and `b` are in the same set.
+    pub fn same(&mut self, a: Node, b: Node) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `v`.
+    pub fn set_size(&mut self, v: Node) -> u32 {
+        let r = self.find(v);
+        self.size[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.components(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2));
+        assert_eq!(d.components(), 3);
+        assert!(d.same(0, 2));
+        assert!(!d.same(0, 3));
+        assert_eq!(d.set_size(1), 3);
+    }
+
+    #[test]
+    fn chain_unions_collapse() {
+        let mut d = Dsu::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.components(), 1);
+        assert_eq!(d.set_size(50), 100);
+        assert!(d.same(0, 99));
+    }
+}

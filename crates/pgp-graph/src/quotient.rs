@@ -1,0 +1,82 @@
+//! Quotient graphs (Section II-A): one node per block, edges induced by
+//! inter-block connectivity, weighted by block weights / inter-block edge
+//! weights.
+
+use crate::{contract_clustering, CsrGraph, Node, Partition, Weight};
+
+/// The weighted quotient graph of a partition.
+#[derive(Clone, Debug)]
+pub struct QuotientGraph {
+    /// One node per *referenced* block (empty blocks are absent); node `i`
+    /// corresponds to block `block_of[i]`.
+    pub graph: CsrGraph,
+    /// Quotient-node → original block ID.
+    pub block_of: Vec<Node>,
+}
+
+impl QuotientGraph {
+    /// Builds the quotient graph of `partition` over `graph`.
+    pub fn build(graph: &CsrGraph, partition: &Partition) -> Self {
+        let labels: Vec<Node> = partition.assignment().to_vec();
+        let c = contract_clustering(graph, &labels);
+        // Recover which block each coarse node came from: mapping preserves
+        // label order, so sort the distinct labels.
+        let mut distinct: Vec<Node> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        QuotientGraph {
+            graph: c.coarse,
+            block_of: distinct,
+        }
+    }
+
+    /// Total weight of quotient edges — equals the partition's edge cut.
+    pub fn total_cut(&self) -> Weight {
+        self.graph.total_edge_weight()
+    }
+
+    /// Maximum quotient degree: the largest number of distinct neighboring
+    /// blocks of any block (one of the alternative objectives discussed in
+    /// the paper's conclusion).
+    pub fn max_quotient_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn quotient_of_path() {
+        // 0-1-2-3-4-5 split into 3 blocks of 2: quotient is a path of 3.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partition::from_assignment(&g, 3, vec![0, 0, 1, 1, 2, 2]);
+        let q = QuotientGraph::build(&g, &p);
+        assert_eq!(q.graph.n(), 3);
+        assert_eq!(q.graph.m(), 2);
+        assert_eq!(q.total_cut(), p.edge_cut(&g));
+        assert_eq!(q.block_of, vec![0, 1, 2]);
+        assert_eq!(q.graph.node_weight(0), 2);
+    }
+
+    #[test]
+    fn empty_blocks_are_skipped() {
+        let g = from_edges(2, &[(0, 1)]);
+        // k = 4 but only blocks 1 and 3 used.
+        let p = Partition::from_assignment(&g, 4, vec![1, 3]);
+        let q = QuotientGraph::build(&g, &p);
+        assert_eq!(q.graph.n(), 2);
+        assert_eq!(q.block_of, vec![1, 3]);
+    }
+
+    #[test]
+    fn quotient_degree() {
+        // Star partition: center block touches 3 others.
+        let g = from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let p = Partition::from_assignment(&g, 4, vec![0, 1, 2, 3]);
+        let q = QuotientGraph::build(&g, &p);
+        assert_eq!(q.max_quotient_degree(), 3);
+    }
+}

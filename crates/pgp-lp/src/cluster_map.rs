@@ -1,0 +1,183 @@
+//! Neighbour-cluster aggregation map.
+//!
+//! When the label propagation algorithm visits a node it must find the
+//! cluster with the strongest connection among its neighbours' clusters.
+//! Cluster IDs are arbitrary values in `0..n`, so the paper uses *hashing
+//! with linear probing* sized by the maximum degree, reporting it "much
+//! faster than the hash map of the STL" — this module reproduces that
+//! structure (and the `cluster_map` Criterion bench compares it against
+//! `std::collections::HashMap`).
+
+use pgp_graph::{Node, Weight};
+
+const EMPTY: u64 = u64::MAX;
+
+/// An open-addressing accumulation map `cluster ID → connection weight`
+/// with O(degree) clear via a used-slot stack.
+pub struct ClusterMap {
+    keys: Vec<u64>,
+    vals: Vec<Weight>,
+    used: Vec<u32>,
+    mask: usize,
+}
+
+impl ClusterMap {
+    /// Creates a map able to aggregate at least `max_degree` distinct
+    /// clusters without exceeding 50 % load.
+    pub fn with_max_degree(max_degree: usize) -> Self {
+        let cap = (max_degree.max(4) * 2).next_power_of_two();
+        Self {
+            keys: vec![EMPTY; cap],
+            vals: vec![0; cap],
+            used: Vec::with_capacity(max_degree.max(4)),
+            mask: cap - 1,
+        }
+    }
+
+    /// Removes all entries (O(#entries), not O(capacity)).
+    #[inline]
+    pub fn clear(&mut self) {
+        for &slot in &self.used {
+            self.keys[slot as usize] = EMPTY;
+            self.vals[slot as usize] = 0;
+        }
+        self.used.clear();
+    }
+
+    /// Number of distinct clusters currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// True iff no clusters are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.used.is_empty()
+    }
+
+    /// Adds `w` to cluster `c`'s accumulated connection weight.
+    #[inline]
+    pub fn add(&mut self, c: Node, w: Weight) {
+        let mut i = splitmix(c as u64) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == c as u64 {
+                self.vals[i] += w;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[i] = c as u64;
+                self.vals[i] = w;
+                self.used.push(i as u32);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Accumulated weight of cluster `c` (0 when absent).
+    #[inline]
+    pub fn get(&self, c: Node) -> Weight {
+        let mut i = splitmix(c as u64) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == c as u64 {
+                return self.vals[i];
+            }
+            if k == EMPTY {
+                return 0;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Iterates over `(cluster, weight)` entries in insertion order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (Node, Weight)> + '_ {
+        self.used
+            .iter()
+            .map(move |&slot| (self.keys[slot as usize] as Node, self.vals[slot as usize]))
+    }
+}
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_clears() {
+        let mut m = ClusterMap::with_max_degree(8);
+        m.add(5, 2);
+        m.add(9, 1);
+        m.add(5, 3);
+        assert_eq!(m.get(5), 5);
+        assert_eq!(m.get(9), 1);
+        assert_eq!(m.get(7), 0);
+        assert_eq!(m.len(), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), 0);
+    }
+
+    #[test]
+    fn survives_many_distinct_keys() {
+        let mut m = ClusterMap::with_max_degree(64);
+        for c in 0..64u32 {
+            m.add(c * 1000, c as Weight + 1);
+        }
+        assert_eq!(m.len(), 64);
+        for c in 0..64u32 {
+            assert_eq!(m.get(c * 1000), c as Weight + 1);
+        }
+    }
+
+    #[test]
+    fn iter_matches_adds() {
+        let mut m = ClusterMap::with_max_degree(4);
+        m.add(1, 10);
+        m.add(2, 20);
+        m.add(1, 5);
+        let mut got: Vec<_> = m.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 15), (2, 20)]);
+    }
+
+    #[test]
+    fn reuse_after_clear_is_clean() {
+        let mut m = ClusterMap::with_max_degree(4);
+        for round in 0..100u64 {
+            m.clear();
+            m.add(round as Node, round);
+            m.add((round + 1) as Node, 1);
+            assert_eq!(m.len(), 2);
+            assert_eq!(m.get(round as Node), round);
+        }
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_workload() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut m = ClusterMap::with_max_degree(128);
+        let mut reference = std::collections::HashMap::new();
+        for _ in 0..128 {
+            let c: Node = rng.gen_range(0..40);
+            let w: Weight = rng.gen_range(1..10);
+            m.add(c, w);
+            *reference.entry(c).or_insert(0u64) += w;
+        }
+        assert_eq!(m.len(), reference.len());
+        for (&c, &w) in &reference {
+            assert_eq!(m.get(c), w);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Sequential size-constrained label propagation (Section III-A).
+//!
+//! One algorithm, two roles:
+//!
+//! * **Cluster mode** (coarsening): labels start as node IDs; the size
+//!   constraint is the soft bound `U = Lmax/f`; nodes are visited in
+//!   increasing-degree order (the paper's quality/runtime improvement).
+//! * **Refine mode** (uncoarsening): labels are block IDs of a `k`-way
+//!   partition; the constraint is the partition's own `U = Lmax`; random
+//!   visiting order; a node in an *overloaded* block must leave it if any
+//!   eligible target exists (improves balance at the cost of cut).
+
+use crate::cluster_map::ClusterMap;
+use pgp_graph::ordering::{degree_order, random_order};
+use pgp_graph::{CsrGraph, Node, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which role the algorithm plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Graph clustering for coarsening (soft constraint).
+    Cluster,
+    /// Partition refinement (tight constraint, overloaded-block rule).
+    Refine,
+}
+
+/// Node visiting order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Increasing node degree (used during coarsening).
+    Degree,
+    /// Uniformly random, reshuffled every round (used during refinement).
+    Random,
+}
+
+/// Configuration of one SCLP run.
+#[derive(Clone, Debug)]
+pub struct SclpConfig {
+    /// Upper bound `U` on cluster/block weight.
+    pub u_bound: Weight,
+    /// Maximum number of rounds `ℓ`.
+    pub iterations: usize,
+    /// Cluster or Refine.
+    pub mode: Mode,
+    /// Visiting order.
+    pub order: Order,
+    /// RNG seed (tie breaking, random order).
+    pub seed: u64,
+}
+
+/// Outcome statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SclpStats {
+    /// Rounds actually executed (early exit on convergence).
+    pub rounds: usize,
+    /// Total node moves.
+    pub moves: u64,
+}
+
+/// Runs size-constrained label propagation in place.
+///
+/// `labels` must hold one label per node: node IDs (identity) for
+/// clustering, block IDs for refinement. `constraint`, when given, restricts
+/// moves to clusters whose members share the node's constraint value — the
+/// V-cycle rule that every cluster stays inside one block of the input
+/// partition (Section IV-D).
+pub fn sclp(
+    graph: &CsrGraph,
+    cfg: &SclpConfig,
+    labels: &mut [Node],
+    constraint: Option<&[Node]>,
+) -> SclpStats {
+    assert_eq!(labels.len(), graph.n(), "label vector length mismatch");
+    if let Some(c) = constraint {
+        assert_eq!(c.len(), graph.n(), "constraint vector length mismatch");
+    }
+    let n = graph.n();
+    if n == 0 {
+        return SclpStats::default();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Cluster/block weights indexed by label.
+    let max_label = labels.iter().copied().max().unwrap_or(0) as usize;
+    let mut weights = vec![0 as Weight; max_label.max(n - 1) + 1];
+    for v in graph.nodes() {
+        weights[labels[v as usize] as usize] += graph.node_weight(v);
+    }
+
+    let mut map = ClusterMap::with_max_degree(graph.max_degree());
+    let mut order = match cfg.order {
+        Order::Degree => degree_order(graph),
+        Order::Random => random_order(n, &mut rng),
+    };
+
+    let mut stats = SclpStats::default();
+    for _round in 0..cfg.iterations {
+        if cfg.order == Order::Random && stats.rounds > 0 {
+            order = random_order(n, &mut rng);
+        }
+        let mut moved = 0u64;
+        for &v in &order {
+            if graph.degree(v) == 0 {
+                continue;
+            }
+            let cur = labels[v as usize];
+            map.clear();
+            match constraint {
+                None => {
+                    for (u, w) in graph.neighbors_weighted(v) {
+                        map.add(labels[u as usize], w);
+                    }
+                }
+                Some(cons) => {
+                    let cv = cons[v as usize];
+                    for (u, w) in graph.neighbors_weighted(v) {
+                        if cons[u as usize] == cv {
+                            map.add(labels[u as usize], w);
+                        }
+                    }
+                }
+            }
+            let cv_weight = graph.node_weight(v);
+            let overloaded = cfg.mode == Mode::Refine && weights[cur as usize] > cfg.u_bound;
+            let mut best: Node = if overloaded { Node::MAX } else { cur };
+            let mut best_w: Weight = if overloaded { 0 } else { map.get(cur) };
+            let mut ties = 1u32;
+            for (c, w) in map.iter() {
+                if c == cur {
+                    continue;
+                }
+                if weights[c as usize] + cv_weight > cfg.u_bound {
+                    continue; // not eligible: target would overload
+                }
+                if best == Node::MAX || w > best_w {
+                    best = c;
+                    best_w = w;
+                    ties = 1;
+                } else if w == best_w {
+                    // Random tie break with reservoir sampling.
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = c;
+                    }
+                }
+            }
+            if best != cur && best != Node::MAX {
+                weights[cur as usize] -= cv_weight;
+                weights[best as usize] += cv_weight;
+                labels[v as usize] = best;
+                moved += 1;
+            }
+        }
+        stats.rounds += 1;
+        stats.moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Active-set variant of [`sclp`]: after one full sweep, only nodes whose
+/// neighbourhood changed are revisited (a work queue instead of full
+/// rounds). Converges to the same kind of local optimum with considerably
+/// fewer node visits on large sparse graphs — the standard engineering of
+/// "near linear-time" label propagation. `max_visits` bounds total work
+/// (use `iterations * n` for parity with the round-based variant).
+///
+/// Returns the stats (with `rounds` = visits/n rounded up) and the exact
+/// number of node visits.
+pub fn sclp_active(
+    graph: &CsrGraph,
+    cfg: &SclpConfig,
+    labels: &mut [Node],
+    constraint: Option<&[Node]>,
+    max_visits: usize,
+) -> (SclpStats, u64) {
+    assert_eq!(labels.len(), graph.n(), "label vector length mismatch");
+    let n = graph.n();
+    if n == 0 {
+        return (SclpStats::default(), 0);
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let max_label = labels.iter().copied().max().unwrap_or(0) as usize;
+    let mut weights = vec![0 as Weight; max_label.max(n - 1) + 1];
+    for v in graph.nodes() {
+        weights[labels[v as usize] as usize] += graph.node_weight(v);
+    }
+    let mut map = ClusterMap::with_max_degree(graph.max_degree());
+    let seed_order = match cfg.order {
+        Order::Degree => degree_order(graph),
+        Order::Random => random_order(n, &mut rng),
+    };
+    let mut queue: std::collections::VecDeque<Node> = seed_order.into_iter().collect();
+    let mut queued = vec![true; n];
+    let mut stats = SclpStats::default();
+    let mut visits = 0u64;
+
+    while let Some(v) = queue.pop_front() {
+        queued[v as usize] = false;
+        if visits >= max_visits as u64 {
+            break;
+        }
+        visits += 1;
+        if graph.degree(v) == 0 {
+            continue;
+        }
+        let cur = labels[v as usize];
+        map.clear();
+        match constraint {
+            None => {
+                for (u, w) in graph.neighbors_weighted(v) {
+                    map.add(labels[u as usize], w);
+                }
+            }
+            Some(cons) => {
+                let cv = cons[v as usize];
+                for (u, w) in graph.neighbors_weighted(v) {
+                    if cons[u as usize] == cv {
+                        map.add(labels[u as usize], w);
+                    }
+                }
+            }
+        }
+        let cv_weight = graph.node_weight(v);
+        let overloaded = cfg.mode == Mode::Refine && weights[cur as usize] > cfg.u_bound;
+        let mut best: Node = if overloaded { Node::MAX } else { cur };
+        let mut best_w: Weight = if overloaded { 0 } else { map.get(cur) };
+        let mut ties = 1u32;
+        for (c, w) in map.iter() {
+            if c == cur {
+                continue;
+            }
+            if weights[c as usize] + cv_weight > cfg.u_bound {
+                continue;
+            }
+            if best == Node::MAX || w > best_w {
+                best = c;
+                best_w = w;
+                ties = 1;
+            } else if w == best_w {
+                ties += 1;
+                if rng.gen_range(0..ties) == 0 {
+                    best = c;
+                }
+            }
+        }
+        if best != cur && best != Node::MAX {
+            weights[cur as usize] -= cv_weight;
+            weights[best as usize] += cv_weight;
+            labels[v as usize] = best;
+            stats.moves += 1;
+            // Reactivate the neighbourhood: its best choices may change.
+            for u in graph.neighbors(v) {
+                if !queued[u as usize] {
+                    queued[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    stats.rounds = (visits as usize).div_ceil(n.max(1));
+    (stats, visits)
+}
+
+/// Convenience: clustering from singletons with degree ordering.
+pub fn sclp_cluster(graph: &CsrGraph, u_bound: Weight, iterations: usize, seed: u64) -> Vec<Node> {
+    let mut labels: Vec<Node> = graph.nodes().collect();
+    sclp(
+        graph,
+        &SclpConfig {
+            u_bound,
+            iterations,
+            mode: Mode::Cluster,
+            order: Order::Degree,
+            seed,
+        },
+        &mut labels,
+        None,
+    );
+    labels
+}
+
+/// Convenience: refinement of a `k`-way partition in place; returns stats.
+pub fn sclp_refine(
+    graph: &CsrGraph,
+    partition: &mut pgp_graph::Partition,
+    eps: f64,
+    iterations: usize,
+    seed: u64,
+) -> SclpStats {
+    let k = partition.k();
+    let u = pgp_graph::lmax(graph.total_node_weight(), k, eps);
+    let mut labels: Vec<Node> = partition.assignment().to_vec();
+    let stats = sclp(
+        graph,
+        &SclpConfig {
+            u_bound: u,
+            iterations,
+            mode: Mode::Refine,
+            order: Order::Random,
+            seed,
+        },
+        &mut labels,
+        None,
+    );
+    *partition = pgp_graph::Partition::from_assignment(graph, k, labels);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::builder::from_edges;
+    use pgp_graph::Partition;
+
+    fn two_triangles() -> CsrGraph {
+        from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn clustering_finds_triangles() {
+        let g = two_triangles();
+        let labels = sclp_cluster(&g, 3, 10, 1);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn u_bound_one_freezes_singletons() {
+        let g = two_triangles();
+        let labels = sclp_cluster(&g, 1, 10, 1);
+        let expect: Vec<Node> = g.nodes().collect();
+        assert_eq!(labels, expect);
+    }
+
+    #[test]
+    fn cluster_weights_respect_bound() {
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        let u = 10;
+        let labels = sclp_cluster(&g, u, 8, 3);
+        let mut w = vec![0u64; g.n()];
+        for v in g.nodes() {
+            w[labels[v as usize] as usize] += g.node_weight(v);
+        }
+        assert!(w.iter().all(|&x| x <= u), "max cluster {}", w.iter().max().unwrap());
+        // And the clustering is non-trivial.
+        let clusters = w.iter().filter(|&&x| x > 0).count();
+        assert!(clusters < g.n() / 2, "only {clusters} clusters");
+    }
+
+    #[test]
+    fn refinement_reduces_cut_of_random_partition() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let g = pgp_gen::mesh::grid2d(16, 16);
+        // Random balanced bipartition: plenty of profitable moves.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let mut ids: Vec<usize> = (0..256).collect();
+        ids.shuffle(&mut rng);
+        let mut assign = vec![0u32; 256];
+        for &i in &ids[128..] {
+            assign[i] = 1;
+        }
+        let mut p = Partition::from_assignment(&g, 2, assign);
+        let before = p.edge_cut(&g);
+        sclp_refine(&g, &mut p, 0.03, 12, 5);
+        let after = p.edge_cut(&g);
+        assert!(after < before / 2, "cut {before} -> {after}");
+        assert!(p.is_balanced(&g, 0.03), "imbalance {}", p.imbalance(&g));
+    }
+
+    #[test]
+    fn overloaded_block_rule_restores_balance() {
+        let g = pgp_gen::mesh::grid2d(10, 10);
+        // 90/10 split: block 0 badly overloaded.
+        let assign: Vec<u32> = (0..100).map(|i| if i < 90 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, assign);
+        assert!(!p.is_balanced(&g, 0.03));
+        sclp_refine(&g, &mut p, 0.03, 30, 7);
+        assert!(p.is_balanced(&g, 0.03), "imbalance {}", p.imbalance(&g));
+    }
+
+    #[test]
+    fn vcycle_constraint_respected() {
+        let g = two_triangles();
+        // Input partition separates nodes {0,1,2} and {3,4,5}; clusters must
+        // not straddle it even though the bridge is attractive.
+        let cons = vec![0, 0, 0, 1, 1, 1];
+        let mut labels: Vec<Node> = g.nodes().collect();
+        sclp(
+            &g,
+            &SclpConfig {
+                u_bound: 100,
+                iterations: 10,
+                mode: Mode::Cluster,
+                order: Order::Degree,
+                seed: 2,
+            },
+            &mut labels,
+            Some(&cons),
+        );
+        for (v, &l) in labels.iter().enumerate() {
+            // The label's constraint class must match the node's.
+            assert_eq!(cons[l as usize], cons[v]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = pgp_gen::ba::barabasi_albert(300, 3, 4);
+        assert_eq!(sclp_cluster(&g, 30, 5, 9), sclp_cluster(&g, 30, 5, 9));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::empty();
+        let mut labels: Vec<Node> = Vec::new();
+        let s = sclp(
+            &g,
+            &SclpConfig {
+                u_bound: 5,
+                iterations: 3,
+                mode: Mode::Cluster,
+                order: Order::Degree,
+                seed: 1,
+            },
+            &mut labels,
+            None,
+        );
+        assert_eq!(s.rounds, 0);
+        // Isolated nodes keep their labels.
+        let g2 = from_edges(3, &[(0, 1)]);
+        let labels2 = sclp_cluster(&g2, 5, 3, 1);
+        assert_eq!(labels2[2], 2);
+    }
+
+    #[test]
+    fn active_set_matches_round_based_quality_with_less_work() {
+        let (g, _) = pgp_gen::sbm::sbm(2000, pgp_gen::sbm::SbmParams::default(), 7);
+        let cfg = SclpConfig {
+            u_bound: 200,
+            iterations: 8,
+            mode: Mode::Cluster,
+            order: Order::Degree,
+            seed: 3,
+        };
+        let mut round_labels: Vec<Node> = g.nodes().collect();
+        sclp(&g, &cfg, &mut round_labels, None);
+        let mut active_labels: Vec<Node> = g.nodes().collect();
+        let (_, visits) = sclp_active(&g, &cfg, &mut active_labels, None, 8 * g.n());
+        let round_cov = pgp_graph::metrics::coverage(&g, &round_labels);
+        let active_cov = pgp_graph::metrics::coverage(&g, &active_labels);
+        assert!(
+            active_cov > round_cov - 0.1,
+            "active {active_cov:.3} vs rounds {round_cov:.3}"
+        );
+        // The work queue converges well below the round-based budget.
+        assert!(
+            (visits as usize) < 8 * g.n(),
+            "no early convergence: {visits} visits"
+        );
+    }
+
+    #[test]
+    fn active_set_respects_bound_and_constraint() {
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        let cons: Vec<Node> = g.nodes().map(|v| v % 3).collect();
+        let cfg = SclpConfig {
+            u_bound: 9,
+            iterations: 6,
+            mode: Mode::Cluster,
+            order: Order::Degree,
+            seed: 1,
+        };
+        let mut labels: Vec<Node> = g.nodes().collect();
+        sclp_active(&g, &cfg, &mut labels, Some(&cons), 6 * g.n());
+        let mut w = vec![0u64; g.n()];
+        for v in g.nodes() {
+            w[labels[v as usize] as usize] += 1;
+            assert_eq!(cons[labels[v as usize] as usize], cons[v as usize]);
+        }
+        assert!(w.iter().all(|&x| x <= 9));
+    }
+
+    #[test]
+    fn refine_never_moves_into_overloaded_block() {
+        let g = pgp_gen::mesh::grid2d(6, 6);
+        let assign: Vec<u32> = (0..36).map(|i| if i < 18 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, assign);
+        sclp_refine(&g, &mut p, 0.0, 10, 3);
+        // eps = 0: Lmax = 18; blocks must stay exactly even.
+        assert_eq!(p.block_weight(0), 18);
+        assert_eq!(p.block_weight(1), 18);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Cluster mode always yields cluster weights ≤ U (for U ≥ max node
+        /// weight) and labels that are real node IDs.
+        #[test]
+        fn cluster_mode_invariants(n in 2usize..60, m in 1usize..150, u in 1u64..20, seed in 0u64..50) {
+            let g = pgp_gen::er::gnm(n, m.min(n*(n-1)/2), seed);
+            let u = u.max(1);
+            let labels = sclp_cluster(&g, u, 5, seed);
+            let mut w = vec![0u64; n];
+            for v in g.nodes() {
+                prop_assert!((labels[v as usize] as usize) < n);
+                w[labels[v as usize] as usize] += g.node_weight(v);
+            }
+            prop_assert!(w.iter().all(|&x| x <= u));
+        }
+
+        /// Refine mode never worsens balance and never produces an invalid
+        /// assignment.
+        #[test]
+        fn refine_mode_invariants(seed in 0u64..40) {
+            let g = pgp_gen::mesh::grid2d(9, 7);
+            let k = 3;
+            let assign: Vec<u32> = (0..63u32).map(|i| i % k).collect();
+            let mut p = pgp_graph::Partition::from_assignment(&g, k as usize, assign);
+            let before = p.max_block_weight();
+            sclp_refine(&g, &mut p, 0.03, 6, seed);
+            prop_assert!(p.max_block_weight() <= before.max(pgp_graph::lmax(63, 3, 0.03)));
+            p.validate(&g, 0.10).unwrap();
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! k-way Fiduccia–Mattheyses local search with hill climbing and rollback.
+//!
+//! KaHIP's refinement toolbox is much richer (flows, multi-try FM); this is
+//! the "lite" k-way boundary FM that provides the non-worsening guarantee
+//! the combine operator relies on: each pass applies a sequence of moves
+//! (possibly through negative-gain territory), then rolls back to the best
+//! prefix, so the cut never increases.
+
+use pgp_graph::{CsrGraph, Node, Weight};
+use pgp_lp::ClusterMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration for a k-way FM run.
+#[derive(Clone, Debug)]
+pub struct FmConfig {
+    /// Maximum improvement passes.
+    pub max_passes: usize,
+    /// Per-block weight caps (usually `Lmax` for every block).
+    pub block_caps: Vec<Weight>,
+    /// RNG seed (tie shuffling).
+    pub seed: u64,
+    /// Abort a pass after this many consecutive non-improving moves
+    /// (hill-climb patience); `0` disables hill climbing.
+    pub patience: usize,
+}
+
+/// Result of an FM run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FmStats {
+    /// Total cut improvement across all passes.
+    pub gain: i64,
+    /// Passes executed.
+    pub passes: usize,
+    /// Moves kept (after rollbacks).
+    pub moves: u64,
+}
+
+/// Runs k-way FM on `labels` (block IDs, in place). Returns statistics;
+/// the cut never increases and the block caps are never violated
+/// (assuming the input respects them; overloaded inputs are tolerated —
+/// moves out of overloaded blocks are always allowed).
+pub fn kway_fm(graph: &CsrGraph, k: usize, labels: &mut [Node], cfg: &FmConfig) -> FmStats {
+    assert_eq!(labels.len(), graph.n());
+    assert_eq!(cfg.block_caps.len(), k);
+    let n = graph.n();
+    let mut stats = FmStats::default();
+    if n == 0 || k < 2 {
+        return stats;
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut weights = vec![0 as Weight; k];
+    for v in graph.nodes() {
+        weights[labels[v as usize] as usize] += graph.node_weight(v);
+    }
+    let mut map = ClusterMap::with_max_degree(graph.max_degree().max(1));
+
+    for _pass in 0..cfg.max_passes {
+        stats.passes += 1;
+        let gain = fm_pass(graph, k, labels, &mut weights, cfg, &mut rng, &mut map, &mut stats);
+        if gain <= 0 {
+            break;
+        }
+        stats.gain += gain;
+    }
+    stats
+}
+
+/// The best move for `v`: `(gain, target)` over eligible blocks, or `None`
+/// when no other block is adjacent/eligible.
+#[allow(clippy::too_many_arguments)]
+fn best_move(
+    graph: &CsrGraph,
+    labels: &[Node],
+    weights: &[Weight],
+    caps: &[Weight],
+    map: &mut ClusterMap,
+    v: Node,
+    rng: &mut SmallRng,
+) -> Option<(i64, Node)> {
+    let cur = labels[v as usize];
+    map.clear();
+    for (u, w) in graph.neighbors_weighted(v) {
+        map.add(labels[u as usize], w);
+    }
+    let internal = map.get(cur) as i64;
+    let cw = graph.node_weight(v);
+    let mut best: Option<(i64, Node)> = None;
+    let mut ties = 1u32;
+    for (b, w) in map.iter() {
+        if b == cur {
+            continue;
+        }
+        if weights[b as usize] + cw > caps[b as usize] {
+            continue;
+        }
+        let gain = w as i64 - internal;
+        match best {
+            None => best = Some((gain, b)),
+            Some((bg, _)) if gain > bg => {
+                best = Some((gain, b));
+                ties = 1;
+            }
+            Some((bg, _)) if gain == bg => {
+                ties += 1;
+                if rng.gen_range(0..ties) == 0 {
+                    best = Some((gain, b));
+                }
+            }
+            _ => {}
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fm_pass(
+    graph: &CsrGraph,
+    k: usize,
+    labels: &mut [Node],
+    weights: &mut [Weight],
+    cfg: &FmConfig,
+    rng: &mut SmallRng,
+    map: &mut ClusterMap,
+    stats: &mut FmStats,
+) -> i64 {
+    let n = graph.n();
+    // Lazy-invalidation heap of candidate moves.
+    let mut version = vec![0u32; n];
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(i64, Reverse<u64>, Node, Node, u32)> = BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<(i64, Reverse<u64>, Node, Node, u32)>,
+                    rng: &mut SmallRng,
+                    v: Node,
+                    gain: i64,
+                    target: Node,
+                    ver: u32| {
+        heap.push((gain, Reverse(rng.gen::<u64>()), v, target, ver));
+    };
+
+    // Seed with boundary nodes.
+    for v in graph.nodes() {
+        let cur = labels[v as usize];
+        if graph.neighbors(v).any(|u| labels[u as usize] != cur) {
+            if let Some((gain, target)) =
+                best_move(graph, labels, weights, &cfg.block_caps, map, v, rng)
+            {
+                push(&mut heap, rng, v, gain, target, 0);
+            }
+        }
+    }
+
+    // Apply moves, tracking the best prefix.
+    let mut journal: Vec<(Node, Node, Node)> = Vec::new(); // (v, from, to)
+    let mut cum_gain = 0i64;
+    let mut best_gain = 0i64;
+    let mut best_len = 0usize;
+    let mut since_best = 0usize;
+    while let Some((gain, _, v, target, ver)) = heap.pop() {
+        if locked[v as usize] || ver != version[v as usize] {
+            continue;
+        }
+        // Re-validate: weights may have changed since the entry was pushed.
+        let cur = labels[v as usize];
+        let cw = graph.node_weight(v);
+        if weights[target as usize] + cw > cfg.block_caps[target as usize] {
+            // Try to recompute a fresh candidate.
+            version[v as usize] += 1;
+            if let Some((g2, t2)) =
+                best_move(graph, labels, weights, &cfg.block_caps, map, v, rng)
+            {
+                push(&mut heap, rng, v, g2, t2, version[v as usize]);
+            }
+            continue;
+        }
+        // Apply.
+        weights[cur as usize] -= cw;
+        weights[target as usize] += cw;
+        labels[v as usize] = target;
+        locked[v as usize] = true;
+        journal.push((v, cur, target));
+        cum_gain += gain;
+        if cum_gain > best_gain {
+            best_gain = cum_gain;
+            best_len = journal.len();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best > cfg.patience {
+                break;
+            }
+        }
+        // Refresh neighbours.
+        for (u, _) in graph.neighbors_weighted(v) {
+            if locked[u as usize] {
+                continue;
+            }
+            version[u as usize] += 1;
+            if let Some((g2, t2)) =
+                best_move(graph, labels, weights, &cfg.block_caps, map, u, rng)
+            {
+                push(&mut heap, rng, u, g2, t2, version[u as usize]);
+            }
+        }
+    }
+    // Roll back past the best prefix.
+    for &(v, from, to) in journal[best_len..].iter().rev() {
+        let cw = graph.node_weight(v);
+        weights[to as usize] -= cw;
+        weights[from as usize] += cw;
+        labels[v as usize] = from;
+    }
+    stats.moves += best_len as u64;
+    let _ = k;
+    best_gain
+}
+
+/// Convenience wrapper operating on a [`pgp_graph::Partition`].
+pub fn refine_partition(
+    graph: &CsrGraph,
+    partition: &mut pgp_graph::Partition,
+    eps: f64,
+    cfg_seed: u64,
+    max_passes: usize,
+) -> FmStats {
+    let k = partition.k();
+    let lmax = pgp_graph::lmax(graph.total_node_weight(), k, eps);
+    let mut labels: Vec<Node> = partition.assignment().to_vec();
+    let stats = kway_fm(
+        graph,
+        k,
+        &mut labels,
+        &FmConfig {
+            max_passes,
+            block_caps: vec![lmax; k],
+            seed: cfg_seed,
+            patience: 32,
+        },
+    );
+    *partition = pgp_graph::Partition::from_assignment(graph, k, labels);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgp_graph::Partition;
+
+    fn cut(g: &CsrGraph, labels: &[Node], k: usize) -> u64 {
+        Partition::from_assignment(g, k, labels.to_vec()).edge_cut(g)
+    }
+
+    #[test]
+    fn fm_fixes_a_swapped_pair() {
+        // Two triangles + bridge, with one node swapped across.
+        let g = pgp_graph::builder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let mut labels = vec![0, 0, 1, 0, 1, 1]; // nodes 2 and 3 swapped
+        let before = cut(&g, &labels, 2);
+        let stats = kway_fm(
+            &g,
+            2,
+            &mut labels,
+            &FmConfig {
+                max_passes: 5,
+                block_caps: vec![4, 4],
+                seed: 1,
+                patience: 8,
+            },
+        );
+        let after = cut(&g, &labels, 2);
+        assert_eq!(after, 1, "optimal cut is the bridge, got {after}");
+        assert_eq!(stats.gain, (before - after) as i64);
+    }
+
+    #[test]
+    fn fm_never_worsens() {
+        let g = pgp_gen::mesh::grid2d(12, 12);
+        for seed in 0..5u64 {
+            let mut labels: Vec<Node> = (0..144).map(|i| (i / 72) as Node).collect();
+            let before = cut(&g, &labels, 2);
+            kway_fm(
+                &g,
+                2,
+                &mut labels,
+                &FmConfig {
+                    max_passes: 4,
+                    block_caps: vec![80, 80],
+                    seed,
+                    patience: 20,
+                },
+            );
+            assert!(cut(&g, &labels, 2) <= before);
+        }
+    }
+
+    #[test]
+    fn fm_respects_caps() {
+        let g = pgp_gen::mesh::grid2d(10, 10);
+        let mut labels: Vec<Node> = (0..100).map(|i| (i % 4) as Node).collect();
+        kway_fm(
+            &g,
+            4,
+            &mut labels,
+            &FmConfig {
+                max_passes: 6,
+                block_caps: vec![26, 26, 26, 26],
+                seed: 3,
+                patience: 20,
+            },
+        );
+        let p = Partition::from_assignment(&g, 4, labels);
+        assert!(p.max_block_weight() <= 26);
+        // And all four blocks still exist.
+        assert_eq!(p.nonempty_blocks(), 4);
+    }
+
+    #[test]
+    fn fm_improves_random_kway() {
+        let g = pgp_gen::mesh::grid2d(14, 14);
+        let mut labels: Vec<Node> = (0..196).map(|i| (i * 7 % 4) as Node).collect();
+        let before = cut(&g, &labels, 4);
+        let lmax = pgp_graph::lmax(196, 4, 0.05);
+        let stats = kway_fm(
+            &g,
+            4,
+            &mut labels,
+            &FmConfig {
+                max_passes: 8,
+                block_caps: vec![lmax; 4],
+                seed: 7,
+                patience: 40,
+            },
+        );
+        let after = cut(&g, &labels, 4);
+        assert!(after < before / 2, "cut {before} -> {after}");
+        assert!(stats.gain > 0);
+    }
+
+    #[test]
+    fn k1_and_empty_are_noops() {
+        let g = pgp_gen::mesh::grid2d(4, 4);
+        let mut labels = vec![0 as Node; 16];
+        let stats = kway_fm(
+            &g,
+            1,
+            &mut labels,
+            &FmConfig {
+                max_passes: 3,
+                block_caps: vec![100],
+                seed: 1,
+                patience: 4,
+            },
+        );
+        assert_eq!(stats.moves, 0);
+        let ge = CsrGraph::empty();
+        let mut no_labels: Vec<Node> = Vec::new();
+        kway_fm(
+            &ge,
+            2,
+            &mut no_labels,
+            &FmConfig {
+                max_passes: 1,
+                block_caps: vec![1, 1],
+                seed: 1,
+                patience: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn weighted_nodes_respect_caps_small() {
+        let g = pgp_graph::GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .node_weights(vec![5, 1, 1, 5])
+            .build();
+        let mut labels = vec![0, 1, 1, 1];
+        // Block caps tight: node 3 (weight 5) cannot join block 0 (5+5>7).
+        kway_fm(
+            &g,
+            2,
+            &mut labels,
+            &FmConfig {
+                max_passes: 3,
+                block_caps: vec![7, 7],
+                seed: 2,
+                patience: 8,
+            },
+        );
+        let p = Partition::from_assignment(&g, 2, labels);
+        assert!(p.max_block_weight() <= 7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pgp_graph::{GraphBuilder, Partition};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// FM never worsens the cut and never violates caps, for arbitrary
+        /// graphs, k, and (feasible) initial assignments.
+        #[test]
+        fn fm_never_worsens_or_overloads(
+            n in 4usize..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 1u64..4), 4..120),
+            k in 2usize..5,
+            seed in 0u64..50,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                b.push_edge(u % n as u32, v % n as u32, w);
+            }
+            let g = b.build();
+            let mut labels: Vec<Node> = (0..n as Node).map(|v| v % k as Node).collect();
+            let before = Partition::from_assignment(&g, k, labels.clone()).edge_cut(&g);
+            let cap = pgp_graph::lmax(g.total_node_weight(), k, 0.10);
+            kway_fm(
+                &g,
+                k,
+                &mut labels,
+                &FmConfig {
+                    max_passes: 3,
+                    block_caps: vec![cap; k],
+                    seed,
+                    patience: 16,
+                },
+            );
+            let p = Partition::from_assignment(&g, k, labels);
+            prop_assert!(p.edge_cut(&g) <= before);
+            prop_assert!(p.max_block_weight() <= cap);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! KaFFPa-lite: the sequential multilevel partitioner.
+//!
+//! Coarsen (cluster contraction or matching) → initial partition → project
+//! back level by level with LP + FM refinement. Supports the evolutionary
+//! combine protocol: when input partitions are given, their cut edges are
+//! never contracted (via the constraint mechanism) and the better input
+//! seeds the coarsest level, so the output is never worse than the better
+//! input.
+
+use crate::coarsen::{coarsen, CoarsenConfig, Hierarchy, Scheme};
+use crate::fm::{kway_fm, FmConfig};
+use crate::initial::{initial_partition, InitialConfig};
+use pgp_graph::{lmax, project_partition, CsrGraph, Node, Partition, Weight};
+use pgp_lp::seq::{sclp, Mode, Order, SclpConfig};
+
+/// Full configuration of a KaFFPa-lite run.
+#[derive(Clone, Debug)]
+pub struct KaffpaConfig {
+    /// Number of blocks.
+    pub k: usize,
+    /// Balance slack `ε` (paper default 0.03).
+    pub eps: f64,
+    /// Coarsening scheme.
+    pub scheme: Scheme,
+    /// Coarsening stops at this size (paper: small multiples of `k`).
+    pub stop_size: usize,
+    /// Size-constraint factor `f`: clusters are bounded by `Lmax/f`.
+    pub cluster_factor: f64,
+    /// LP refinement rounds per level during uncoarsening.
+    pub refine_iterations: usize,
+    /// FM passes per level during uncoarsening.
+    pub fm_passes: usize,
+    /// Attempts for initial partitioning.
+    pub initial_attempts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KaffpaConfig {
+    /// A sensible default mirroring the paper's fast sequential settings.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            eps: 0.03,
+            scheme: Scheme::ClusterLp { iterations: 3 },
+            stop_size: (40 * k).max(60),
+            cluster_factor: 14.0,
+            refine_iterations: 6,
+            fm_passes: 3,
+            initial_attempts: 4,
+            seed,
+        }
+    }
+
+    /// The soft cluster bound `U = Lmax / f`.
+    pub fn u_bound(&self, graph: &CsrGraph) -> Weight {
+        let l = lmax(graph.total_node_weight(), self.k, self.eps);
+        let max_nw = graph.node_weights().iter().copied().max().unwrap_or(1);
+        ((l as f64 / self.cluster_factor) as Weight).max(max_nw)
+    }
+}
+
+/// Partitions `graph` into `cfg.k` blocks.
+pub fn kaffpa(graph: &CsrGraph, cfg: &KaffpaConfig) -> Partition {
+    kaffpa_with_inputs(graph, cfg, &[])
+}
+
+/// Partitions with optional input partitions (the combine operator).
+///
+/// Cut edges of *any* input are never contracted; the coarsest graph is
+/// seeded with the best input (projected), so the result's cut is at most
+/// the best input's cut — the KaFFPaE offspring guarantee.
+pub fn kaffpa_with_inputs(
+    graph: &CsrGraph,
+    cfg: &KaffpaConfig,
+    inputs: &[&Partition],
+) -> Partition {
+    assert!(cfg.k >= 1);
+    if graph.n() == 0 {
+        return Partition::from_assignment(graph, cfg.k, Vec::new());
+    }
+    if cfg.k == 1 {
+        return Partition::trivial(graph, 1);
+    }
+
+    // Constraint: the combined block signature of all inputs; clusters never
+    // straddle a signature boundary, so no input cut edge is contracted.
+    let constraint: Option<Vec<Node>> = match inputs.len() {
+        0 => None,
+        1 => Some(inputs[0].assignment().to_vec()),
+        _ => {
+            let k = cfg.k as u64;
+            Some(
+                (0..graph.n())
+                    .map(|v| {
+                        let mut sig = 0u64;
+                        for p in inputs {
+                            sig = sig * k + p.assignment()[v] as u64;
+                        }
+                        sig as Node
+                    })
+                    .collect(),
+            )
+        }
+    };
+
+    let coarsen_cfg = CoarsenConfig {
+        scheme: cfg.scheme,
+        stop_size: cfg.stop_size,
+        u_bound: cfg.u_bound(graph),
+        min_shrink: 1.05,
+        max_levels: 64,
+        seed: cfg.seed,
+    };
+    let hierarchy = coarsen(graph, &coarsen_cfg, constraint.as_deref());
+
+    // Initial partition of the coarsest graph.
+    let coarsest = hierarchy.coarsest();
+    let mut coarse_p = initial_partition(
+        coarsest,
+        cfg.k,
+        &InitialConfig {
+            eps: cfg.eps,
+            attempts: cfg.initial_attempts,
+            fm_passes: cfg.fm_passes,
+            seed: cfg.seed ^ 0xABCD,
+        },
+    );
+    // Seed with the best input if one is given and better (its cut is
+    // preserved by construction: no cut edge was contracted).
+    if !inputs.is_empty() {
+        let best_input = inputs
+            .iter()
+            .min_by_key(|p| p.edge_cut(graph))
+            .expect("non-empty");
+        let projected = project_to_coarsest(&hierarchy, best_input);
+        // Take the projected input whenever it has the smaller cut — that
+        // is what the offspring guarantee rests on — and also when the
+        // fresh initial partition is unbalanced but the input is not.
+        let take_projected = projected.edge_cut(coarsest) < coarse_p.edge_cut(coarsest)
+            || (!coarse_p.is_balanced(coarsest, cfg.eps)
+                && projected.is_balanced(coarsest, cfg.eps));
+        if take_projected {
+            coarse_p = projected;
+        }
+    }
+
+    uncoarsen(&hierarchy, coarse_p, cfg)
+}
+
+/// Pushes a partition of the finest graph down to the coarsest level of a
+/// hierarchy whose contractions never merged two of its blocks (guaranteed
+/// when the hierarchy was built with this partition as a constraint).
+pub fn project_to_coarsest(hierarchy: &Hierarchy, fine: &Partition) -> Partition {
+    let mut labels: Vec<Node> = fine.assignment().to_vec();
+    for (level, mapping) in hierarchy.mappings.iter().enumerate() {
+        let coarse_n = hierarchy.graphs[level + 1].n();
+        let mut next = vec![0 as Node; coarse_n];
+        for (v, &c) in mapping.iter().enumerate() {
+            next[c as usize] = labels[v];
+        }
+        labels = next;
+    }
+    Partition::from_assignment(hierarchy.coarsest(), fine.k(), labels)
+}
+
+/// Uncoarsening: project up level by level, refining with LP then FM.
+fn uncoarsen(hierarchy: &Hierarchy, coarse_p: Partition, cfg: &KaffpaConfig) -> Partition {
+    let mut p = coarse_p;
+    let l = lmax(
+        hierarchy.graphs[0].total_node_weight(),
+        cfg.k,
+        cfg.eps,
+    );
+    for level in (0..hierarchy.mappings.len()).rev() {
+        let fine = &hierarchy.graphs[level];
+        p = project_partition(fine, &hierarchy.mappings[level], &p);
+        refine_level(fine, &mut p, l, cfg, level as u64);
+    }
+    // The coarsest level itself also gets a refinement pass when there was
+    // no uncoarsening to do (single-level hierarchy).
+    if hierarchy.mappings.is_empty() {
+        let fine = &hierarchy.graphs[0];
+        let mut q = p.clone();
+        refine_level(fine, &mut q, l, cfg, 0);
+        if q.edge_cut(fine) <= p.edge_cut(fine) {
+            p = q;
+        }
+    }
+    p
+}
+
+fn refine_level(fine: &CsrGraph, p: &mut Partition, l: Weight, cfg: &KaffpaConfig, level: u64) {
+    let mut labels: Vec<Node> = p.assignment().to_vec();
+    sclp(
+        fine,
+        &SclpConfig {
+            u_bound: l,
+            iterations: cfg.refine_iterations,
+            mode: Mode::Refine,
+            order: Order::Random,
+            seed: cfg.seed.wrapping_add(level * 77),
+        },
+        &mut labels,
+        None,
+    );
+    kway_fm(
+        fine,
+        cfg.k,
+        &mut labels,
+        &FmConfig {
+            max_passes: cfg.fm_passes,
+            block_caps: vec![l; cfg.k],
+            seed: cfg.seed.wrapping_add(level * 131 + 7),
+            patience: 32,
+        },
+    );
+    *p = Partition::from_assignment(fine, cfg.k, labels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_grid_well() {
+        let g = pgp_gen::mesh::grid2d(24, 24);
+        let p = kaffpa(&g, &KaffpaConfig::new(2, 1));
+        p.validate(&g, 0.03).unwrap();
+        assert!(p.edge_cut(&g) <= 60, "cut {}", p.edge_cut(&g)); // optimal 24; multilevel-fast lands well under 2.5x
+    }
+
+    #[test]
+    fn partitions_sbm_near_ground_truth() {
+        let (g, _) = pgp_gen::sbm::sbm(800, pgp_gen::sbm::SbmParams::default(), 2);
+        let p = kaffpa(&g, &KaffpaConfig::new(4, 3));
+        p.validate(&g, 0.03).unwrap();
+        // Sanity: far better than a random balanced 4-way cut.
+        let rand_cut = {
+            let assign: Vec<u32> = (0..g.n() as u32).map(|i| i % 4).collect();
+            Partition::from_assignment(&g, 4, assign).edge_cut(&g)
+        };
+        assert!(p.edge_cut(&g) < rand_cut / 2, "{} vs random {rand_cut}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn matching_scheme_also_works() {
+        let g = pgp_gen::mesh::grid2d(20, 20);
+        let mut cfg = KaffpaConfig::new(2, 5);
+        cfg.scheme = Scheme::Matching;
+        let p = kaffpa(&g, &cfg);
+        p.validate(&g, 0.03).unwrap();
+        assert!(p.edge_cut(&g) <= 60, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn combine_never_worse_than_better_parent() {
+        let (g, _) = pgp_gen::sbm::sbm(500, pgp_gen::sbm::SbmParams::default(), 7);
+        let cfg = KaffpaConfig::new(2, 11);
+        let p1 = kaffpa(&g, &KaffpaConfig::new(2, 100));
+        let p2 = kaffpa(&g, &KaffpaConfig::new(2, 200));
+        let best_parent = p1.edge_cut(&g).min(p2.edge_cut(&g));
+        let child = kaffpa_with_inputs(&g, &cfg, &[&p1, &p2]);
+        assert!(
+            child.edge_cut(&g) <= best_parent,
+            "child {} worse than best parent {best_parent}",
+            child.edge_cut(&g)
+        );
+        child.validate(&g, 0.03).unwrap();
+    }
+
+    #[test]
+    fn single_input_vcycle_never_worsens() {
+        let g = pgp_gen::mesh::grid2d(16, 16);
+        let cfg = KaffpaConfig::new(4, 3);
+        let p0 = kaffpa(&g, &cfg);
+        let before = p0.edge_cut(&g);
+        let p1 = kaffpa_with_inputs(&g, &KaffpaConfig::new(4, 999), &[&p0]);
+        assert!(p1.edge_cut(&g) <= before, "{} > {before}", p1.edge_cut(&g));
+    }
+
+    #[test]
+    fn k_equals_n_and_k1() {
+        let g = pgp_gen::mesh::grid2d(4, 4);
+        let p1 = kaffpa(&g, &KaffpaConfig::new(1, 1));
+        assert_eq!(p1.edge_cut(&g), 0);
+        // k = n: every node its own block is the only balanced solution.
+        let pn = kaffpa(&g, &KaffpaConfig::new(16, 1));
+        assert_eq!(pn.nonempty_blocks(), 16);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = pgp_gen::ba::barabasi_albert(300, 3, 4);
+        let cfg = KaffpaConfig::new(4, 42);
+        assert_eq!(kaffpa(&g, &cfg).assignment(), kaffpa(&g, &cfg).assignment());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        let p = kaffpa(&g, &KaffpaConfig::new(4, 1));
+        assert_eq!(p.assignment().len(), 0);
+    }
+}

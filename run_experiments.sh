@@ -1,0 +1,23 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper at the default (small) tier.
+# Output: results/*.csv + results/experiments.log
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+LOG=results/experiments.log
+: > "$LOG"
+run() {
+  echo "### $*" | tee -a "$LOG"
+  local t0=$SECONDS
+  "$@" >> "$LOG" 2>&1
+  echo "[took $((SECONDS-t0))s]" | tee -a "$LOG"
+}
+cargo build -p bench --release >> "$LOG" 2>&1 || { echo BUILD_FAILED | tee -a "$LOG"; exit 1; }
+
+run ./target/release/table2 tier=small reps=3 p=4 seed=1
+run ./target/release/table3 tier=small reps=2 p=4 seed=1
+run ./target/release/fig5_weak base_log=11 pmax=8 reps=2 seed=1
+run ./target/release/fig6_strong all pmax=8 seed=1 tier=small
+run ./target/release/coarsening_effectiveness tier=small p=4 seed=1
+run ./target/release/ablation all tier=small p=4 reps=2 seed=1
+echo "ALL EXPERIMENTS DONE" | tee -a "$LOG"

@@ -1,0 +1,27 @@
+//! Facade crate re-exporting the whole parallel-graph-partitioning stack.
+//!
+//! This workspace reproduces *Parallel Graph Partitioning for Complex
+//! Networks* (Meyerhenke, Sanders, Schulz; IPDPS 2015) — the system published
+//! as **ParHIP**. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduction results.
+//!
+//! The individual crates:
+//!
+//! * [`pgp_graph`] — static CSR graphs, partitions, contraction, metrics, I/O.
+//! * [`pgp_dmp`] — the distributed message-passing substrate (PEs as threads,
+//!   MPI-style collectives, distributed graphs with ghost nodes).
+//! * [`pgp_gen`] — graph generators (rgg, Delaunay, R-MAT, BA, SBM, meshes…).
+//! * [`pgp_lp`] — size-constrained label propagation (sequential + parallel).
+//! * [`pgp_seq`] — sequential multilevel partitioner (KaFFPa-lite).
+//! * [`pgp_evo`] — the distributed evolutionary algorithm (KaFFPaE).
+//! * [`parhip`] — the overall parallel system from the paper.
+//! * [`pgp_baselines`] — ParMetis-like, hash, and recursive-bisection baselines.
+
+pub use parhip;
+pub use pgp_baselines;
+pub use pgp_dmp;
+pub use pgp_evo;
+pub use pgp_gen;
+pub use pgp_graph;
+pub use pgp_lp;
+pub use pgp_seq;
