@@ -89,7 +89,11 @@ fn bench_contraction(c: &mut Criterion) {
                 let labels: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
                     .map(|l| clustering[dg.local_to_global(l) as usize])
                     .collect();
-                black_box(parhip::parallel_contract(comm, &dg, &labels).coarse.n_local())
+                black_box(
+                    parhip::parallel_contract(comm, &dg, &labels)
+                        .coarse
+                        .n_local(),
+                )
             })
         });
     });

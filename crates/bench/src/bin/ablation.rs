@@ -17,8 +17,8 @@ use bench::harness::{parse_tier, run_parhip};
 use bench::{arg, arg_usize, fnum, summarize_runs, Table};
 use parhip::{GraphClass, ParhipConfig};
 use pgp_gen::benchmark_set::{instance, Tier};
-use pgp_lp::seq::{sclp, Mode, Order, SclpConfig};
 use pgp_graph::Node;
+use pgp_lp::seq::{sclp, Mode, Order, SclpConfig};
 
 fn social_instances(tier: Tier, seed: u64) -> Vec<(String, pgp_graph::CsrGraph)> {
     ["youtube", "eu-2005", "amazon"]
@@ -31,7 +31,13 @@ fn social_instances(tier: Tier, seed: u64) -> Vec<(String, pgp_graph::CsrGraph)>
 /// ordering, measured as edge coverage (fraction of edge weight kept
 /// inside clusters — higher is better for the cut objective).
 fn ordering(tier: Tier, reps: usize, seed: u64) {
-    let mut t = Table::new(&["graph", "order", "coverage", "clusters", "rounds-to-converge"]);
+    let mut t = Table::new(&[
+        "graph",
+        "order",
+        "coverage",
+        "clusters",
+        "rounds-to-converge",
+    ]);
     for (name, g) in social_instances(tier, seed) {
         for order in [Order::Degree, Order::Random] {
             let mut covs = Vec::new();
@@ -65,7 +71,10 @@ fn ordering(tier: Tier, reps: usize, seed: u64) {
             ]);
         }
     }
-    println!("\n== Ablation: node ordering (paper §III-A) ==\n{}", t.render());
+    println!(
+        "\n== Ablation: node ordering (paper §III-A) ==\n{}",
+        t.render()
+    );
     t.save_csv("ablation_ordering");
 }
 
@@ -85,15 +94,24 @@ fn fsweep(tier: Tier, p: usize, reps: usize, seed: u64) {
                     cfg.social_first_factor = f;
                     // For the mesh instance sweep the ratio path as well.
                     cfg.mesh_first_cluster_weight =
-                        ((pgp_graph::lmax(g.total_node_weight(), 2, 0.03) as f64 / f) as u64).max(2);
+                        ((pgp_graph::lmax(g.total_node_weight(), 2, 0.03) as f64 / f) as u64)
+                            .max(2);
                     run_parhip(g, p, &cfg)
                 },
                 seed,
             );
-            t.row(vec![name.into(), fnum(f), fnum(s.avg_cut), fnum(s.avg_time_s)]);
+            t.row(vec![
+                name.into(),
+                fnum(f),
+                fnum(s.avg_cut),
+                fnum(s.avg_time_s),
+            ]);
         }
     }
-    println!("\n== Ablation: size-constraint factor f (paper §V-A) ==\n{}", t.render());
+    println!(
+        "\n== Ablation: size-constraint factor f (paper §V-A) ==\n{}",
+        t.render()
+    );
     t.save_csv("ablation_fsweep");
 }
 
@@ -112,10 +130,18 @@ fn iters(tier: Tier, p: usize, reps: usize, seed: u64) {
                 },
                 seed,
             );
-            t.row(vec![name.clone(), it.to_string(), fnum(s.avg_cut), fnum(s.avg_time_s)]);
+            t.row(vec![
+                name.clone(),
+                it.to_string(),
+                fnum(s.avg_cut),
+                fnum(s.avg_time_s),
+            ]);
         }
     }
-    println!("\n== Ablation: LP iterations during coarsening (paper §V-A) ==\n{}", t.render());
+    println!(
+        "\n== Ablation: LP iterations during coarsening (paper §V-A) ==\n{}",
+        t.render()
+    );
     t.save_csv("ablation_iters");
 }
 
@@ -160,7 +186,10 @@ fn vcycles(tier: Tier, p: usize, reps: usize, seed: u64) {
             ]);
         }
     }
-    println!("\n== Ablation: V-cycles (minimal/fast/eco) ==\n{}", t.render());
+    println!(
+        "\n== Ablation: V-cycles (minimal/fast/eco) ==\n{}",
+        t.render()
+    );
     t.save_csv("ablation_vcycles");
 }
 

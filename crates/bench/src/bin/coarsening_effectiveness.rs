@@ -26,11 +26,19 @@ fn main() {
     let seed = arg_usize(&args, "seed", 1) as u64;
 
     let mut t = Table::new(&[
-        "graph", "class", "scheme", "1-step n-shrink", "1-step m-shrink", "coarse avg deg",
-        "final coarsest n", "levels",
+        "graph",
+        "class",
+        "scheme",
+        "1-step n-shrink",
+        "1-step m-shrink",
+        "coarse avg deg",
+        "final coarsest n",
+        "levels",
     ]);
 
-    for name in ["uk-2007", "sk-2005", "eu-2005", "youtube", "channel", "rgg26"] {
+    for name in [
+        "uk-2007", "sk-2005", "eu-2005", "youtube", "channel", "rgg26",
+    ] {
         let inst = instance(name, tier, seed);
         let g = &inst.graph;
         let class = match inst.class {
@@ -87,7 +95,10 @@ fn main() {
                 };
                 (one_n, one_m, deg, final_n, levels)
             });
-            let (one_n, one_m, deg, final_n, levels) = rows.into_iter().next().unwrap();
+            let (one_n, one_m, deg, final_n, levels) = rows
+                .into_iter()
+                .next()
+                .expect("run() always yields p >= 1 results");
             t.row(vec![
                 name.into(),
                 format!("{:?}", inst.class),
@@ -100,6 +111,9 @@ fn main() {
             ]);
         }
     }
-    println!("\n== Coarsening effectiveness (paper §V-B narrative) ==\n{}", t.render());
+    println!(
+        "\n== Coarsening effectiveness (paper §V-B narrative) ==\n{}",
+        t.render()
+    );
     t.save_csv("coarsening_effectiveness");
 }

@@ -21,7 +21,14 @@ fn main() {
     let k = 16;
 
     let mut t = Table::new(&[
-        "family", "p", "n", "m", "ParHIP t/edge [s]", "ParHIP cut", "PM t/edge [s]", "PM cut",
+        "family",
+        "p",
+        "n",
+        "m",
+        "ParHIP t/edge [s]",
+        "ParHIP cut",
+        "PM t/edge [s]",
+        "PM cut",
     ]);
     let mut p = 1usize;
     while p <= pmax {
@@ -36,12 +43,7 @@ fn main() {
             let mut ph_time = 0.0;
             let mut ph_cut = 0u64;
             for r in 0..reps {
-                let cfg = ParhipConfig::preset(
-                    Preset::Fast,
-                    k,
-                    GraphClass::Mesh,
-                    seed + r as u64,
-                );
+                let cfg = ParhipConfig::preset(Preset::Fast, k, GraphClass::Mesh, seed + r as u64);
                 let (part, time) = run_parhip(&g, p, &cfg);
                 ph_time += time;
                 ph_cut += part.edge_cut(&g);
@@ -65,12 +67,23 @@ fn main() {
                 g.m().to_string(),
                 fnum(ph_time / reps as f64 / m),
                 (ph_cut / reps as u64).to_string(),
-                if pm_ok { fnum(pm_time / reps as f64 / m) } else { "*".into() },
-                if pm_ok { (pm_cut / reps as u64).to_string() } else { "*".into() },
+                if pm_ok {
+                    fnum(pm_time / reps as f64 / m)
+                } else {
+                    "*".into()
+                },
+                if pm_ok {
+                    (pm_cut / reps as u64).to_string()
+                } else {
+                    "*".into()
+                },
             ]);
         }
         p *= 2;
     }
-    println!("\n== Figure 5 stand-in: weak scaling, k = {k} ==\n{}", t.render());
+    println!(
+        "\n== Figure 5 stand-in: weak scaling, k = {k} ==\n{}",
+        t.render()
+    );
     t.save_csv("fig5_weak");
 }

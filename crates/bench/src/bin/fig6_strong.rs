@@ -16,8 +16,8 @@ use pgp_graph::CsrGraph;
 
 fn pe_counts(pmax: usize) -> Vec<usize> {
     let mut v = vec![1];
-    while *v.last().unwrap() * 2 <= pmax {
-        v.push(v.last().unwrap() * 2);
+    while *v.last().expect("starts with one element") * 2 <= pmax {
+        v.push(v.last().expect("starts with one element") * 2);
     }
     v
 }
@@ -31,7 +31,14 @@ fn panel(
     tier: Tier,
     with_minimal_on_last: bool,
 ) {
-    let mut t = Table::new(&["graph", "p", "ParHIP t[s]", "ParHIP cut", "PM t[s]", "PM cut"]);
+    let mut t = Table::new(&[
+        "graph",
+        "p",
+        "ParHIP t[s]",
+        "ParHIP cut",
+        "PM t[s]",
+        "PM cut",
+    ]);
     for (idx, (name, g, class)) in graphs.iter().enumerate() {
         for &p in &pe_counts(pmax) {
             let cfg = ParhipConfig::preset(Preset::Fast, 2, *class, seed);
@@ -97,7 +104,15 @@ fn main() {
                 )
             })
             .collect();
-        panel("Figure 6 (top): Delaunay strong scaling", "fig6_del", &graphs, pmax, seed, tier, false);
+        panel(
+            "Figure 6 (top): Delaunay strong scaling",
+            "fig6_del",
+            &graphs,
+            pmax,
+            seed,
+            tier,
+            false,
+        );
     }
     if which == "rgg" || which == "all" {
         let graphs: Vec<(String, CsrGraph, GraphClass)> = [x_small, x_large]
@@ -110,20 +125,27 @@ fn main() {
                 )
             })
             .collect();
-        panel("Figure 6 (middle): RGG strong scaling", "fig6_rgg", &graphs, pmax, seed, tier, false);
+        panel(
+            "Figure 6 (middle): RGG strong scaling",
+            "fig6_rgg",
+            &graphs,
+            pmax,
+            seed,
+            tier,
+            false,
+        );
     }
     if which == "web" || which == "all" {
-        let graphs: Vec<(String, CsrGraph, GraphClass)> =
-            ["uk-2002", "arabic-2005", "uk-2007"]
-                .iter()
-                .map(|&n| {
-                    (
-                        n.to_string(),
-                        instance(n, tier, seed).graph,
-                        GraphClass::Social,
-                    )
-                })
-                .collect();
+        let graphs: Vec<(String, CsrGraph, GraphClass)> = ["uk-2002", "arabic-2005", "uk-2007"]
+            .iter()
+            .map(|&n| {
+                (
+                    n.to_string(),
+                    instance(n, tier, seed).graph,
+                    GraphClass::Social,
+                )
+            })
+            .collect();
         panel(
             "Figure 6 (bottom): web-graph strong scaling (+ minimal variant)",
             "fig6_web",

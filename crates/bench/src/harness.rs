@@ -16,7 +16,14 @@ pub fn run_parhip(graph: &CsrGraph, p: usize, cfg: &ParhipConfig) -> (Partition,
         let (local, _) = parhip::parhip_distributed(comm, &dg, cfg);
         allgatherv(comm, local)
     });
-    let partition = Partition::from_assignment(graph, cfg.k, results.into_iter().next().unwrap());
+    let partition = Partition::from_assignment(
+        graph,
+        cfg.k,
+        results
+            .into_iter()
+            .next()
+            .expect("run() always yields p >= 1 results"),
+    );
     let par_time = times.into_iter().fold(0.0f64, f64::max);
     (partition, par_time)
 }
@@ -32,7 +39,10 @@ pub fn run_parmetis(
         let dg = DistGraph::from_global(comm, graph);
         parmetis_like_distributed(comm, &dg, cfg).map(|(local, _)| allgatherv(comm, local))
     });
-    let assignment = results.into_iter().next().unwrap()?;
+    let assignment = results
+        .into_iter()
+        .next()
+        .expect("run() always yields p >= 1 results")?;
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     let par_time = times.into_iter().fold(0.0f64, f64::max);
     Ok((partition, par_time))
@@ -107,12 +117,7 @@ pub fn run_quality_table(
             benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
         };
         let g = &inst.graph;
-        eprintln!(
-            "[{name}] n = {}, m = {} ({:?})",
-            g.n(),
-            g.m(),
-            inst.class
-        );
+        eprintln!("[{name}] n = {}, m = {} ({:?})", g.n(), g.m(), inst.class);
 
         // ParMetis-like with the tier's memory model.
         let pm_cfg_base = ParmetisLikeConfig::new(k, seed).with_memory_budget(memory_budget(tier));
@@ -173,8 +178,16 @@ fn summarize_checked(
 /// §V-B, and saves a CSV.
 pub fn render_quality_table(results: &[InstanceResult], title: &str, csv_name: &str) {
     let mut t = Table::new(&[
-        "graph", "PM avg cut", "PM best", "PM t[s]", "Fast avg cut", "Fast best", "Fast t[s]",
-        "Eco avg cut", "Eco best", "Eco t[s]",
+        "graph",
+        "PM avg cut",
+        "PM best",
+        "PM t[s]",
+        "Fast avg cut",
+        "Fast best",
+        "Fast t[s]",
+        "Eco avg cut",
+        "Eco best",
+        "Eco t[s]",
     ]);
     for r in results {
         let (pm_avg, pm_best, pm_t) = match &r.parmetis {
@@ -203,9 +216,21 @@ pub fn render_quality_table(results: &[InstanceResult], title: &str, csv_name: &
     if !solved.is_empty() {
         let ratio = |f: &dyn Fn(&InstanceResult) -> f64| geomean(solved.iter().map(|r| f(r)));
         let fast_impr = 1.0
-            - ratio(&|r| r.fast.avg_cut / r.parmetis.as_ref().unwrap().avg_cut);
+            - ratio(&|r| {
+                r.fast.avg_cut
+                    / r.parmetis
+                        .as_ref()
+                        .expect("parmetis baseline ran for this row")
+                        .avg_cut
+            });
         let eco_impr = 1.0
-            - ratio(&|r| r.eco.avg_cut / r.parmetis.as_ref().unwrap().avg_cut);
+            - ratio(&|r| {
+                r.eco.avg_cut
+                    / r.parmetis
+                        .as_ref()
+                        .expect("parmetis baseline ran for this row")
+                        .avg_cut
+            });
         println!(
             "vs ParMetis-like (geomean over {} solved instances): fast cuts {:.1}% smaller, eco cuts {:.1}% smaller",
             solved.len(),

@@ -6,6 +6,7 @@ use crate::config::ParhipConfig;
 use crate::contract::{parallel_contract, query_owner_values};
 use pgp_dmp::collectives::allreduce;
 use pgp_dmp::{Comm, DistGraph};
+use pgp_graph::ids;
 use pgp_graph::Node;
 use pgp_lp::par::{parallel_sclp_cluster, singleton_labels};
 
@@ -57,7 +58,7 @@ pub fn parallel_coarsen(
             break;
         }
         // Per-level soft bound: U = max(max node weight, Lmax / f).
-        let local_max_w = (0..current.n_local() as Node)
+        let local_max_w = (0..ids::node_of_index(current.n_local()))
             .map(|v| current.node_weight(v))
             .max()
             .unwrap_or(1);
@@ -70,7 +71,8 @@ pub fn parallel_coarsen(
             &current,
             u,
             cfg.coarsen_iterations,
-            cfg.seed.wrapping_add(levels.len() as u64 * 0x51CE + cycle as u64),
+            cfg.seed
+                .wrapping_add(ids::count_global(levels.len()) * 0x51CE + ids::count_global(cycle)),
             &mut labels,
             cur_constraint.as_deref(),
         );
@@ -106,13 +108,14 @@ pub fn parallel_coarsen(
                     .into_iter()
                     .flatten()
                 {
-                    owned_block[(cid as u64 - first) as usize] = b;
+                    owned_block[ids::global_index(ids::node_global(cid) - first)] = b;
                 }
                 // Now fetch blocks for every coarse node visible here
                 // (owned + ghost), aligned with local IDs.
-                let all_ids: Vec<Node> = (0..(c.coarse.n_local() + c.coarse.n_ghost()) as Node)
-                    .map(|l| c.coarse.local_to_global(l))
-                    .collect();
+                let all_ids: Vec<Node> =
+                    (0..ids::node_of_index(c.coarse.n_local() + c.coarse.n_ghost()))
+                        .map(|l| c.coarse.local_to_global(l))
+                        .collect();
                 let blocks =
                     query_owner_values(comm, coarse_dist, &all_ids, |idx| owned_block[idx]);
                 debug_assert!(blocks.iter().all(|&b| b != Node::MAX));
@@ -186,7 +189,11 @@ mod tests {
         run(2, |comm| {
             let dg = DistGraph::from_global(comm, &g);
             let h = parallel_coarsen(comm, dg, &cfg, 0, None);
-            assert_eq!(h.depth(), 1, "unit-weight mesh must not coarsen at f = 20000");
+            assert_eq!(
+                h.depth(),
+                1,
+                "unit-weight mesh must not coarsen at f = 20000"
+            );
         });
     }
 

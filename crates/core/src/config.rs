@@ -190,7 +190,7 @@ mod tests {
         let mut c = ParhipConfig::fast(4, GraphClass::Mesh, 1);
         c.mesh_first_cluster_weight = 1; // emulate the paper's literal
                                          // f = 20000 at tiny scale
-        // The max node weight dominates a collapsed W.
+                                         // The max node weight dominates a collapsed W.
         assert_eq!(c.u_bound(10_000, 17, 0), 17);
         // Social f = 14 with big total: the ratio dominates.
         let s = ParhipConfig::fast(4, GraphClass::Social, 1);

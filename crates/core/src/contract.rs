@@ -21,6 +21,7 @@
 use pgp_dmp::collectives::{allreduce_sum, alltoallv, exscan_sum};
 use pgp_dmp::dgraph::BlockDist;
 use pgp_dmp::{Comm, DistGraph};
+use pgp_graph::ids;
 use pgp_graph::{Node, Weight};
 use std::collections::HashMap;
 
@@ -58,7 +59,7 @@ pub fn query_owner_values<T: Clone + Send + 'static>(
             qs.into_iter()
                 .map(|g| {
                     let first = dist.first(comm.rank());
-                    value_of((g as u64 - first) as usize)
+                    value_of(ids::global_index(ids::node_global(g) - first))
                 })
                 .collect()
         })
@@ -93,13 +94,13 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
     let mut my_ids: Vec<Node> = received.into_iter().flatten().collect();
     my_ids.sort_unstable();
     my_ids.dedup();
-    let my_count = my_ids.len() as u64;
+    let my_count = ids::count_global(my_ids.len());
     let offset = exscan_sum(comm, my_count);
     let n_coarse = allreduce_sum(comm, my_count);
     let q: HashMap<Node, Node> = my_ids
         .iter()
         .enumerate()
-        .map(|(i, &c)| (c, (offset + i as u64) as Node))
+        .map(|(i, &c)| (c, ids::global_node(offset + ids::count_global(i))))
         .collect();
 
     // -- Step 3: resolve C(v) = q(label(v)) for every local + ghost node.
@@ -135,18 +136,18 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
     //    to the coarse owners.
     let coarse_dist = BlockDist::new(n_coarse, p);
     let mut arc_agg: HashMap<(Node, Node), Weight> = HashMap::new();
-    for u in 0..n_local as Node {
-        let cu = mapping[u as usize];
+    for u in 0..ids::node_of_index(n_local) {
+        let cu = mapping[ids::node_index(u)];
         for (v, w) in graph.neighbors(u) {
-            let cv = mapping[v as usize];
+            let cv = mapping[ids::node_index(v)];
             if cu != cv {
                 *arc_agg.entry((cu, cv)).or_insert(0) += w;
             }
         }
     }
     let mut weight_agg: HashMap<Node, Weight> = HashMap::new();
-    for u in 0..n_local as Node {
-        *weight_agg.entry(mapping[u as usize]).or_insert(0) += graph.node_weight(u);
+    for u in 0..ids::node_of_index(n_local) {
+        *weight_agg.entry(mapping[ids::node_index(u)]).or_insert(0) += graph.node_weight(u);
     }
     let mut arc_sends: Vec<Vec<(Node, Node, Weight)>> = vec![Vec::new(); p];
     for (&(cu, cv), &w) in &arc_agg {
@@ -171,11 +172,16 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
     }
     let first = coarse_dist.first(comm.rank());
     let n_owned = coarse_dist.count(comm.rank());
-    let mut owned_weights = vec![0 as Weight; n_owned];
+    let mut owned_weights: Vec<Weight> = vec![0; n_owned];
     for (c, w) in weight_recv.into_iter().flatten() {
-        owned_weights[(c as u64 - first) as usize] += w;
+        owned_weights[ids::global_index(ids::node_global(c) - first)] += w;
     }
     let coarse = DistGraph::from_arcs(comm, n_coarse, owned_weights, merged);
+    #[cfg(feature = "validate")]
+    {
+        crate::validate::assert_graph_valid(comm, &coarse, "parallel_contract coarse graph");
+        crate::validate::assert_contraction_valid(comm, graph, &coarse, &mapping);
+    }
     ParContraction { coarse, mapping }
 }
 
@@ -190,7 +196,11 @@ pub fn parallel_project_blocks(
     mapping: &[Node],
     coarse_blocks: &[Node],
 ) -> Vec<Node> {
-    assert_eq!(coarse_blocks.len(), coarse.n_local(), "one block per owned coarse node");
+    assert_eq!(
+        coarse_blocks.len(),
+        coarse.n_local(),
+        "one block per owned coarse node"
+    );
     let mut want: Vec<Node> = mapping.to_vec();
     want.sort_unstable();
     want.dedup();

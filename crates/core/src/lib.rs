@@ -37,6 +37,8 @@ pub mod coarsen;
 pub mod config;
 pub mod contract;
 pub mod partitioner;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use coarsen::{parallel_coarsen, ParHierarchy, ParLevel};
 pub use config::{GraphClass, ParhipConfig, Preset};

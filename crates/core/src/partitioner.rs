@@ -13,6 +13,7 @@ use crate::contract::parallel_project_blocks;
 use pgp_dmp::collectives::allgatherv;
 use pgp_dmp::{Comm, DistGraph};
 use pgp_evo::{Budget, EvoConfig};
+use pgp_graph::ids;
 use pgp_graph::{lmax, CsrGraph, Node, Partition};
 use pgp_lp::par::parallel_sclp_refine;
 use std::time::Instant;
@@ -64,20 +65,20 @@ pub fn parhip_distributed_with_input(
     let n_all = graph.n_local() + graph.n_ghost();
     // blocks: owned + ghost, maintained across cycles.
     let mut blocks: Option<Vec<Node>> = input.map(|b| {
-        assert_eq!(b.len(), n_all, "prepartition must cover owned + ghost nodes");
+        assert_eq!(
+            b.len(),
+            n_all,
+            "prepartition must cover owned + ghost nodes"
+        );
         b.to_vec()
     });
+    #[cfg(feature = "validate")]
+    crate::validate::assert_graph_valid(comm, graph, "parhip input graph");
 
     for cycle in 0..cfg.vcycles.max(1) {
         // ---- Parallel coarsening -------------------------------------
         let t0 = Instant::now();
-        let hierarchy = parallel_coarsen(
-            comm,
-            graph.clone(),
-            cfg,
-            cycle,
-            blocks.as_deref(),
-        );
+        let hierarchy = parallel_coarsen(comm, graph.clone(), cfg, cycle, blocks.as_deref());
         stats.coarsening_s += t0.elapsed().as_secs_f64();
         if cycle == 0 {
             stats.levels = hierarchy.depth();
@@ -104,10 +105,11 @@ pub fn parhip_distributed_with_input(
             mutation_rate: 0.1,
             rumor_fanout: if cfg.deterministic { 0 } else { 1 },
             rumor_interval: 2,
-            seed: cfg.seed.wrapping_add(cycle as u64 * 0xE70),
+            seed: cfg.seed.wrapping_add(ids::count_global(cycle) * 0xE70),
             objective: pgp_evo::Objective::EdgeCut,
         };
-        let coarse_partition = pgp_evo::kaffpae(comm, &coarsest_global, &evo_cfg, seed_partition.as_ref());
+        let coarse_partition =
+            pgp_evo::kaffpae(comm, &coarsest_global, &evo_cfg, seed_partition.as_ref());
         stats.initial_s += t1.elapsed().as_secs_f64();
 
         // ---- Parallel uncoarsening + refinement ------------------------
@@ -117,7 +119,7 @@ pub fn parhip_distributed_with_input(
         // solution.
         let first = coarsest.first_global();
         let mut level_blocks: Vec<Node> = (0..coarsest.n_local())
-            .map(|l| coarse_partition.block((first as usize + l) as Node))
+            .map(|l| coarse_partition.block(ids::global_node(first + ids::count_global(l))))
             .collect();
         // Walk levels coarse→fine.
         for li in (0..hierarchy.depth() - 1).rev() {
@@ -131,7 +133,7 @@ pub fn parhip_distributed_with_input(
                 cfg.k,
                 lmax_v,
                 cfg.refine_iterations,
-                cfg.seed.wrapping_add((cycle * 1000 + li) as u64),
+                cfg.seed.wrapping_add(ids::count_global(cycle * 1000 + li)),
                 &mut fine_blocks,
             );
             level_blocks = fine_blocks[..fine.n_local()].to_vec();
@@ -139,13 +141,13 @@ pub fn parhip_distributed_with_input(
         // When the hierarchy is a single level, refine directly on it.
         if hierarchy.depth() == 1 {
             let fine = &hierarchy.levels[0].graph;
-            let mut fb = vec![0 as Node; fine.n_local() + fine.n_ghost()];
+            let mut fb: Vec<Node> = vec![0; fine.n_local() + fine.n_ghost()];
             fb[..fine.n_local()].copy_from_slice(&level_blocks);
             // Ghost blocks from the replicated coarse partition (coarsest ==
             // finest here).
             #[allow(clippy::needless_range_loop)] // l is a local node id
             for l in fine.n_local()..fine.n_local() + fine.n_ghost() {
-                fb[l] = coarse_partition.block(fine.local_to_global(l as Node));
+                fb[l] = coarse_partition.block(fine.local_to_global(ids::node_of_index(l)));
             }
             parallel_sclp_refine(
                 comm,
@@ -153,7 +155,7 @@ pub fn parhip_distributed_with_input(
                 cfg.k,
                 lmax_v,
                 cfg.refine_iterations,
-                cfg.seed.wrapping_add(cycle as u64 * 7919),
+                cfg.seed.wrapping_add(ids::count_global(cycle) * 7919),
                 &mut fb,
             );
             level_blocks = fb[..fine.n_local()].to_vec();
@@ -161,18 +163,18 @@ pub fn parhip_distributed_with_input(
         stats.uncoarsening_s += t2.elapsed().as_secs_f64();
 
         // Refresh ghost blocks for the next cycle's constraint.
-        let mut full = vec![0 as Node; n_all];
+        let mut full: Vec<Node> = vec![0; n_all];
         full[..graph.n_local()].copy_from_slice(&level_blocks);
         let ghost_ids: Vec<Node> = (graph.n_local()..n_all)
-            .map(|l| graph.local_to_global(l as Node))
+            .map(|l| graph.local_to_global(ids::node_of_index(l)))
             .collect();
-        let ghost_blocks = crate::contract::query_owner_values(
-            comm,
-            graph.dist(),
-            &ghost_ids,
-            |idx| level_blocks[idx],
-        );
+        let ghost_blocks =
+            crate::contract::query_owner_values(comm, graph.dist(), &ghost_ids, |idx| {
+                level_blocks[idx]
+            });
         full[graph.n_local()..].copy_from_slice(&ghost_blocks);
+        #[cfg(feature = "validate")]
+        crate::validate::assert_partition_valid(comm, graph, &full, cfg.k, "end of V-cycle");
         blocks = Some(full);
     }
 
@@ -196,12 +198,12 @@ fn project_down(comm: &Comm, hierarchy: &ParHierarchy, fine_blocks: &[Node]) -> 
             votes[dist.owner(cid)].push((cid, b));
         }
         let first = dist.first(comm.rank());
-        let mut next = vec![0 as Node; coarse.n_local()];
+        let mut next: Vec<Node> = vec![0; coarse.n_local()];
         for (cid, b) in pgp_dmp::collectives::alltoallv(comm, votes)
             .into_iter()
             .flatten()
         {
-            next[(cid as u64 - first) as usize] = b;
+            next[ids::global_index(ids::node_global(cid) - first)] = b;
         }
         cur = next;
     }
@@ -250,12 +252,11 @@ fn partition_parallel_impl(
     let results = pgp_dmp::run(p, |comm| {
         let dg = DistGraph::from_global(comm, graph);
         let local_input: Option<Vec<Node>> = input.map(|ip| {
-            (0..(dg.n_local() + dg.n_ghost()) as Node)
+            (0..ids::node_of_index(dg.n_local() + dg.n_ghost()))
                 .map(|l| ip.block(dg.local_to_global(l)))
                 .collect()
         });
-        let (local, stats) =
-            parhip_distributed_with_input(comm, &dg, cfg, local_input.as_deref());
+        let (local, stats) = parhip_distributed_with_input(comm, &dg, cfg, local_input.as_deref());
         let all = allgatherv(comm, local);
         (all, stats)
     });
@@ -285,13 +286,14 @@ mod tests {
         assert!(stats.levels >= 2);
         assert!(stats.cut > 0);
         // Much better than a random balanced partition.
-        let rand_cut = Partition::from_assignment(
-            &g,
-            4,
-            (0..g.n() as u32).map(|i| i % 4).collect(),
-        )
-        .edge_cut(&g);
-        assert!(stats.cut < rand_cut / 2, "cut {} vs random {rand_cut}", stats.cut);
+        let rand_cut =
+            Partition::from_assignment(&g, 4, (0..g.n() as u32).map(|i| i % 4).collect())
+                .edge_cut(&g);
+        assert!(
+            stats.cut < rand_cut / 2,
+            "cut {} vs random {rand_cut}",
+            stats.cut
+        );
     }
 
     #[test]
@@ -345,15 +347,13 @@ mod tests {
         let hash: Vec<Node> = (0..g.n() as Node)
             .map(|v| (pgp_dmp::mix_seed(7, v as u64) % 4) as Node)
             .collect();
-        let hash_cut =
-            Partition::from_assignment(&g, 4, hash.clone()).edge_cut(&g);
+        let hash_cut = Partition::from_assignment(&g, 4, hash.clone()).edge_cut(&g);
         let results = pgp_dmp::run(2, |comm| {
             let dg = DistGraph::from_global(comm, &g);
             let input: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
                 .map(|l| hash[dg.local_to_global(l) as usize])
                 .collect();
-            let (local, _) =
-                super::parhip_distributed_with_input(comm, &dg, &cfg, Some(&input));
+            let (local, _) = super::parhip_distributed_with_input(comm, &dg, &cfg, Some(&input));
             allgatherv(comm, local)
         });
         let p = Partition::from_assignment(&g, 4, results.into_iter().next().unwrap());
@@ -363,6 +363,17 @@ mod tests {
             p.edge_cut(&g)
         );
         p.validate(&g, 0.03).unwrap();
+    }
+
+    /// End-to-end with the invariant wall up: every contraction, the input
+    /// graph, and every cycle's final partition are validated collectively.
+    #[test]
+    #[cfg(feature = "validate")]
+    fn validated_rmat_partition_end_to_end() {
+        let g = pgp_gen::rmat::rmat_web(10, 8, 5);
+        let (p, stats) = partition_parallel(&g, 4, &small_cfg(4, GraphClass::Social, 9));
+        p.validate(&g, 0.03).unwrap();
+        assert!(stats.cut > 0);
     }
 
     #[test]

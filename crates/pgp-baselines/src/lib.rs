@@ -15,7 +15,6 @@ pub mod rb;
 pub use hash::hash_partition;
 pub use matching::parallel_hem;
 pub use parmetis_like::{
-    parmetis_like, parmetis_like_distributed, BaselineError, ParmetisLikeConfig,
-    ParmetisLikeStats,
+    parmetis_like, parmetis_like_distributed, BaselineError, ParmetisLikeConfig, ParmetisLikeStats,
 };
 pub use rb::{recursive_bisection, RbConfig};

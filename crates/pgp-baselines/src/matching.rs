@@ -167,7 +167,11 @@ mod tests {
             count.entry(l).or_insert_with(Vec::new).push(v as Node);
         }
         for (l, members) in &count {
-            assert!(members.len() <= 2, "cluster {l} has {} members", members.len());
+            assert!(
+                members.len() <= 2,
+                "cluster {l} has {} members",
+                members.len()
+            );
             if members.len() == 2 {
                 assert!(
                     g.neighbors(members[0]).any(|u| u == members[1]),
@@ -197,7 +201,11 @@ mod tests {
             }
             labels.iter().filter(|&&l| cnt[&l] == 2).count()
         };
-        assert!(matched * 10 >= labels.len() * 7, "only {matched}/{} matched", labels.len());
+        assert!(
+            matched * 10 >= labels.len() * 7,
+            "only {matched}/{} matched",
+            labels.len()
+        );
     }
 
     #[test]
@@ -213,7 +221,10 @@ mod tests {
             }
             labels.iter().filter(|&&l| cnt[&l] == 1).count()
         };
-        assert!(singles >= 48, "stars must stall matching, {singles} singles");
+        assert!(
+            singles >= 48,
+            "stars must stall matching, {singles} singles"
+        );
     }
 
     #[test]

@@ -233,7 +233,15 @@ pub fn parmetis_like_distributed(
         for l in 0..fb.len() {
             fb[l] = coarse_assignment[fine.local_to_global(l as Node) as usize];
         }
-        parallel_sclp_refine(comm, fine, cfg.k, lmax_v, cfg.refine_iterations, cfg.seed, &mut fb);
+        parallel_sclp_refine(
+            comm,
+            fine,
+            cfg.k,
+            lmax_v,
+            cfg.refine_iterations,
+            cfg.seed,
+            &mut fb,
+        );
         level_blocks = fb[..fine.n_local()].to_vec();
     }
     Ok((level_blocks, stats))
@@ -257,10 +265,7 @@ pub fn parmetis_like(
         }
     });
     let (assignment, stats) = results.into_iter().next().expect("at least one PE")?;
-    Ok((
-        Partition::from_assignment(graph, cfg.k, assignment),
-        stats,
-    ))
+    Ok((Partition::from_assignment(graph, cfg.k, assignment), stats))
 }
 
 #[cfg(test)]
@@ -303,7 +308,11 @@ mod tests {
             "web graph should exceed the memory model: {web_result:?}"
         );
         let mesh_result = parmetis_like(&mesh, 2, &cfg);
-        assert!(mesh_result.is_ok(), "mesh must fit: {:?}", mesh_result.err());
+        assert!(
+            mesh_result.is_ok(),
+            "mesh must fit: {:?}",
+            mesh_result.err()
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub fn barrier(comm: &Comm) {
     }
 }
 
-fn bcast_internal<T: Clone + Send + 'static>(comm: &Comm, root: usize, value: Option<T>, tag: Tag) -> T {
+fn bcast_internal<T: Clone + Send + 'static>(
+    comm: &Comm,
+    root: usize,
+    value: Option<T>,
+    tag: Tag,
+) -> T {
     let p = comm.size();
     // Rotate ranks so the root is virtual rank 0, then run a binomial tree.
     let vrank = (comm.rank() + p - root) % p;
@@ -55,7 +60,11 @@ fn bcast_internal<T: Clone + Send + 'static>(comm: &Comm, root: usize, value: Op
     }
     let v = value.expect("value present after receive");
     // Children of vrank: vrank | (1 << i) for i above vrank's lowest set bit.
-    let lowbit = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+    let lowbit = if vrank == 0 {
+        usize::BITS
+    } else {
+        vrank.trailing_zeros()
+    };
     let mut i = 0u32;
     while i < lowbit && (1usize << i) < p {
         let child_v = vrank | (1 << i);
@@ -86,7 +95,11 @@ where
     let vrank = (comm.rank() + p - root) % p;
     let mut acc = value;
     // Mirror of the broadcast tree: receive from children, send to parent.
-    let lowbit = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+    let lowbit = if vrank == 0 {
+        usize::BITS
+    } else {
+        vrank.trailing_zeros()
+    };
     let mut i = 0u32;
     while i < lowbit && (1usize << i) < p {
         let child_v = vrank | (1 << i);
@@ -147,7 +160,11 @@ pub fn exscan_sum(comm: &Comm, value: u64) -> u64 {
     // Linear ring pass: cheap and simple for p ≤ 64; the paper's prefix sum
     // is also latency-bound, not bandwidth-bound.
     let r = comm.rank();
-    let prefix = if r == 0 { 0 } else { comm.recv::<u64>(r - 1, tag) };
+    let prefix = if r == 0 {
+        0
+    } else {
+        comm.recv::<u64>(r - 1, tag)
+    };
     if r + 1 < comm.size() {
         comm.send(r + 1, tag, prefix + value);
     }
@@ -208,7 +225,7 @@ pub fn alltoallv<T: Send + 'static>(comm: &Comm, mut sends: Vec<Vec<T>>) -> Vec<
     let mine = std::mem::take(&mut sends[comm.rank()]);
     for (dst, buf) in sends.into_iter().enumerate() {
         if dst != comm.rank() {
-            let n = buf.len() as u64;
+            let n = pgp_graph::ids::count_global(buf.len());
             comm.send_counted(dst, tag, buf, n);
         }
     }
@@ -250,7 +267,10 @@ mod tests {
                     };
                     broadcast(comm, root, v)
                 });
-                assert!(r.iter().all(|&x| x == root as u64 * 1000 + 7), "p={p} root={root}");
+                assert!(
+                    r.iter().all(|&x| x == root as u64 * 1000 + 7),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -258,7 +278,9 @@ mod tests {
     #[test]
     fn reduce_sums_to_root() {
         for p in [1, 2, 3, 6, 9] {
-            let r = run(p, |comm| reduce(comm, 0, comm.rank() as u64 + 1, |a, b| a + b));
+            let r = run(p, |comm| {
+                reduce(comm, 0, comm.rank() as u64 + 1, |a, b| a + b)
+            });
             let expect = (p * (p + 1) / 2) as u64;
             assert_eq!(r[0], Some(expect));
             assert!(r[1..].iter().all(|x| x.is_none()));
@@ -276,14 +298,18 @@ mod tests {
 
     #[test]
     fn allreduce_vec_elementwise() {
-        let r = run(4, |comm| allreduce_sum_vec(comm, vec![comm.rank() as u64, 1]));
+        let r = run(4, |comm| {
+            allreduce_sum_vec(comm, vec![comm.rank() as u64, 1])
+        });
         assert!(r.iter().all(|v| v == &vec![6, 4]));
     }
 
     #[test]
     fn allreduce_min_with_rank_picks_global_min() {
         let vals = [30u64, 10, 20, 10];
-        let r = run(4, move |comm| allreduce_min_with_rank(comm, vals[comm.rank()]));
+        let r = run(4, move |comm| {
+            allreduce_min_with_rank(comm, vals[comm.rank()])
+        });
         // Ties broken toward the smaller (value, rank) pair -> rank 1.
         assert!(r.iter().all(|&x| x == (10, 1)));
     }
@@ -340,7 +366,11 @@ mod tests {
         let r = run(4, |comm| {
             let mut got = Vec::new();
             for i in 0..50u64 {
-                let v = if comm.rank() == (i % 4) as usize { Some(i) } else { None };
+                let v = if comm.rank() == (i % 4) as usize {
+                    Some(i)
+                } else {
+                    None
+                };
                 got.push(broadcast(comm, (i % 4) as usize, v));
             }
             got

@@ -9,6 +9,7 @@
 
 use crate::collectives::{allgatherv, allreduce_sum, alltoallv};
 use crate::comm::Comm;
+use pgp_graph::ids;
 use pgp_graph::{CsrGraph, Node, Weight, INVALID_NODE};
 use std::collections::HashMap;
 
@@ -28,32 +29,32 @@ impl BlockDist {
     /// Creates the distribution for `n_global` nodes over `p` PEs.
     pub fn new(n_global: u64, p: usize) -> Self {
         assert!(p > 0);
-        let chunk = n_global.div_ceil(p as u64).max(1);
+        let chunk = n_global.div_ceil(ids::count_global(p)).max(1);
         Self { n_global, chunk, p }
     }
 
     /// The PE owning global node `g`.
     #[inline]
     pub fn owner(&self, g: Node) -> usize {
-        ((g as u64 / self.chunk) as usize).min(self.p - 1)
+        ids::global_index(ids::node_global(g) / self.chunk).min(self.p - 1)
     }
 
     /// The first global ID owned by PE `r`.
     #[inline]
     pub fn first(&self, r: usize) -> u64 {
-        (r as u64 * self.chunk).min(self.n_global)
+        (ids::count_global(r) * self.chunk).min(self.n_global)
     }
 
     /// The one-past-last global ID owned by PE `r`.
     #[inline]
     pub fn last_excl(&self, r: usize) -> u64 {
-        ((r as u64 + 1) * self.chunk).min(self.n_global)
+        ((ids::count_global(r) + 1) * self.chunk).min(self.n_global)
     }
 
     /// Number of nodes owned by PE `r`.
     #[inline]
     pub fn count(&self, r: usize) -> usize {
-        (self.last_excl(r) - self.first(r)) as usize
+        ids::global_index(self.last_excl(r) - self.first(r))
     }
 }
 
@@ -95,20 +96,20 @@ impl DistGraph {
     /// during construction; all algorithms afterwards touch local state and
     /// messages exclusively.
     pub fn from_global(comm: &Comm, global: &CsrGraph) -> Self {
-        let dist = BlockDist::new(global.n() as u64, comm.size());
+        let dist = BlockDist::new(ids::count_global(global.n()), comm.size());
         let rank = comm.rank();
         let first = dist.first(rank);
         let last = dist.last_excl(rank);
-        let n_local = (last - first) as usize;
+        let n_local = ids::global_index(last - first);
 
         let mut arcs: Vec<(Node, Node, Weight)> = Vec::new();
         for g in first..last {
-            for (v, w) in global.neighbors_weighted(g as Node) {
-                arcs.push((g as Node, v, w));
+            for (v, w) in global.neighbors_weighted(ids::global_node(g)) {
+                arcs.push((ids::global_node(g), v, w));
             }
         }
         let owned_weights: Vec<Weight> = (first..last)
-            .map(|g| global.node_weight(g as Node))
+            .map(|g| global.node_weight(ids::global_node(g)))
             .collect();
         // Ghost weights can be read straight off the shared input here; the
         // fully distributed constructor fetches them by message instead.
@@ -137,7 +138,7 @@ impl DistGraph {
         let mut ghosts: Vec<Node> = arcs
             .iter()
             .map(|&(_, v, _)| v)
-            .filter(|&v| (v as u64) < first || (v as u64) >= last)
+            .filter(|&v| ids::node_global(v) < first || ids::node_global(v) >= last)
             .collect();
         ghosts.sort_unstable();
         ghosts.dedup();
@@ -150,7 +151,7 @@ impl DistGraph {
             .into_iter()
             .map(|q| {
                 q.into_iter()
-                    .map(|g| owned_weights[(g as u64 - first) as usize])
+                    .map(|g| owned_weights[ids::global_index(ids::node_global(g) - first)])
                     .collect()
             })
             .collect();
@@ -190,14 +191,17 @@ impl DistGraph {
         let mut adjncy = Vec::with_capacity(arcs.len());
         let mut adjwgt = Vec::with_capacity(arcs.len());
         for &(u, v, w) in &arcs {
-            let lu = (u as u64 - first) as usize;
-            debug_assert!((u as u64) >= first && (u as u64) < last, "arc source not owned");
-            let lv = if (v as u64) >= first && (v as u64) < last {
-                (v as u64 - first) as Node
+            let lu = ids::global_index(ids::node_global(u) - first);
+            debug_assert!(
+                ids::node_global(u) >= first && ids::node_global(u) < last,
+                "arc source not owned"
+            );
+            let lv = if ids::node_global(v) >= first && ids::node_global(v) < last {
+                ids::global_node(ids::node_global(v) - first)
             } else {
                 *ghost_map.entry(v).or_insert_with(|| {
                     ghost_global.push(v);
-                    (n_local + ghost_global.len() - 1) as Node
+                    ids::node_of_index(n_local + ghost_global.len() - 1)
                 })
             };
             xadj[lu + 1] += 1;
@@ -208,7 +212,10 @@ impl DistGraph {
             xadj[i + 1] += xadj[i];
         }
 
-        let ghost_owner: Vec<u32> = ghost_global.iter().map(|&g| dist.owner(g) as u32).collect();
+        let ghost_owner: Vec<u32> = ghost_global
+            .iter()
+            .map(|&g| ids::pe_rank(dist.owner(g)))
+            .collect();
         let mut node_weight = owned_weights;
         node_weight.extend(ghost_global.iter().map(|&g| ghost_weight_of(g)));
 
@@ -218,17 +225,17 @@ impl DistGraph {
         let mut scratch: Vec<u32> = Vec::new();
         for u in 0..n_local {
             scratch.clear();
-            let lo = xadj[u] as usize;
-            let hi = xadj[u + 1] as usize;
+            let lo = ids::global_index(xadj[u]);
+            let hi = ids::global_index(xadj[u + 1]);
             for &t in &adjncy[lo..hi] {
-                if t as usize >= n_local {
-                    scratch.push(ghost_owner[t as usize - n_local]);
+                if ids::node_index(t) >= n_local {
+                    scratch.push(ghost_owner[ids::node_index(t) - n_local]);
                 }
             }
             scratch.sort_unstable();
             scratch.dedup();
             iface_pes.extend_from_slice(&scratch);
-            iface_xadj[u + 1] = iface_pes.len() as u32;
+            iface_xadj[u + 1] = ids::offset_of_index(iface_pes.len());
         }
         let mut adjacent_pes: Vec<u32> = ghost_owner.clone();
         adjacent_pes.sort_unstable();
@@ -239,7 +246,7 @@ impl DistGraph {
         let total_node_weight = allreduce_sum(comm, local_nw);
         let local_arc_w: Weight = adjwgt.iter().sum();
         let total_edge_weight = allreduce_sum(comm, local_arc_w) / 2;
-        let global_m = allreduce_sum(comm, adjncy.len() as u64) / 2;
+        let global_m = allreduce_sum(comm, ids::count_global(adjncy.len())) / 2;
 
         Self {
             rank,
@@ -317,17 +324,17 @@ impl DistGraph {
     /// True iff local ID `l` denotes a ghost node.
     #[inline]
     pub fn is_ghost(&self, l: Node) -> bool {
-        (l as usize) >= self.n_local()
+        ids::node_index(l) >= self.n_local()
     }
 
     /// Local → global ID translation (owned and ghost).
     #[inline]
     pub fn local_to_global(&self, l: Node) -> Node {
         let nl = self.n_local();
-        if (l as usize) < nl {
-            (self.first_global() + l as u64) as Node
+        if ids::node_index(l) < nl {
+            ids::global_node(self.first_global() + ids::node_global(l))
         } else {
-            self.ghost_global[l as usize - nl]
+            self.ghost_global[ids::node_index(l) - nl]
         }
     }
 
@@ -337,8 +344,8 @@ impl DistGraph {
     pub fn global_to_local(&self, g: Node) -> Node {
         let first = self.first_global();
         let last = self.dist.last_excl(self.rank);
-        if (g as u64) >= first && (g as u64) < last {
-            (g as u64 - first) as Node
+        if ids::node_global(g) >= first && ids::node_global(g) < last {
+            ids::global_node(ids::node_global(g) - first)
         } else {
             self.ghost_map.get(&g).copied().unwrap_or(INVALID_NODE)
         }
@@ -347,26 +354,28 @@ impl DistGraph {
     /// Owner PE of ghost-local node `l`.
     #[inline]
     pub fn ghost_owner_of(&self, l: Node) -> u32 {
-        self.ghost_owner[l as usize - self.n_local()]
+        self.ghost_owner[ids::node_index(l) - self.n_local()]
     }
 
     /// Weight of local node `l` (owned or ghost).
     #[inline]
     pub fn node_weight(&self, l: Node) -> Weight {
-        self.node_weight[l as usize]
+        self.node_weight[ids::node_index(l)]
     }
 
     /// Degree of owned node `l`.
     #[inline]
     pub fn degree(&self, l: Node) -> usize {
-        (self.xadj[l as usize + 1] - self.xadj[l as usize]) as usize
+        let u = ids::node_index(l);
+        ids::global_index(self.xadj[u + 1] - self.xadj[u])
     }
 
     /// Iterates `(target_local, weight)` over the arcs of owned node `l`.
     #[inline]
     pub fn neighbors(&self, l: Node) -> impl Iterator<Item = (Node, Weight)> + '_ {
-        let lo = self.xadj[l as usize] as usize;
-        let hi = self.xadj[l as usize + 1] as usize;
+        let u = ids::node_index(l);
+        let lo = ids::global_index(self.xadj[u]);
+        let hi = ids::global_index(self.xadj[u + 1]);
         self.adjncy[lo..hi]
             .iter()
             .copied()
@@ -376,14 +385,16 @@ impl DistGraph {
     /// True iff owned node `l` has at least one ghost neighbour.
     #[inline]
     pub fn is_interface(&self, l: Node) -> bool {
-        self.iface_xadj[l as usize] != self.iface_xadj[l as usize + 1]
+        let u = ids::node_index(l);
+        self.iface_xadj[u] != self.iface_xadj[u + 1]
     }
 
     /// The adjacent PEs of owned interface node `l`.
     #[inline]
     pub fn interface_pes(&self, l: Node) -> &[u32] {
-        let lo = self.iface_xadj[l as usize] as usize;
-        let hi = self.iface_xadj[l as usize + 1] as usize;
+        let u = ids::node_index(l);
+        let lo = ids::offset_index(self.iface_xadj[u]);
+        let hi = ids::offset_index(self.iface_xadj[u + 1]);
         &self.iface_pes[lo..hi]
     }
 
@@ -397,12 +408,17 @@ impl DistGraph {
     /// fractions to explain Delaunay vs RGG scaling).
     pub fn ghost_arc_count(&self) -> u64 {
         let nl = self.n_local();
-        self.adjncy.iter().filter(|&&t| (t as usize) >= nl).count() as u64
+        let ghost_arcs = self
+            .adjncy
+            .iter()
+            .filter(|&&t| ids::node_index(t) >= nl)
+            .count();
+        ids::count_global(ghost_arcs)
     }
 
     /// Number of owned arcs.
     pub fn local_arc_count(&self) -> u64 {
-        self.adjncy.len() as u64
+        ids::count_global(self.adjncy.len())
     }
 
     /// Weights of the owned nodes (slice of length `n_local`).
@@ -410,12 +426,66 @@ impl DistGraph {
         &self.node_weight[..self.n_local()]
     }
 
+    /// Raw `xadj` offsets (validator access; algorithms use the accessors).
+    pub fn xadj_raw(&self) -> &[u64] {
+        &self.xadj
+    }
+
+    /// Raw adjacency targets (validator access).
+    pub fn adjncy_raw(&self) -> &[Node] {
+        &self.adjncy
+    }
+
+    /// Raw arc weights (validator access).
+    pub fn adjwgt_raw(&self) -> &[Weight] {
+        &self.adjwgt
+    }
+
+    /// Ghost global IDs in ghost-local order (validator access).
+    pub fn ghost_globals(&self) -> &[Node] {
+        &self.ghost_global
+    }
+
+    /// The global→ghost-local map (validator access).
+    pub fn ghost_map(&self) -> &HashMap<Node, Node> {
+        &self.ghost_map
+    }
+
+    /// Ghost owner ranks in ghost-local order (validator access).
+    pub fn ghost_owners(&self) -> &[u32] {
+        &self.ghost_owner
+    }
+
+    /// Mutable ghost map, for seeding corruptions in validator tests.
+    #[doc(hidden)]
+    pub fn ghost_map_mut_for_test(&mut self) -> &mut HashMap<Node, Node> {
+        &mut self.ghost_map
+    }
+
+    /// Mutable node weights, for seeding corruptions in validator tests.
+    #[doc(hidden)]
+    pub fn node_weights_mut_for_test(&mut self) -> &mut Vec<Weight> {
+        &mut self.node_weight
+    }
+
+    /// Mutable arc weights, for seeding corruptions in validator tests.
+    #[doc(hidden)]
+    pub fn adjwgt_mut_for_test(&mut self) -> &mut Vec<Weight> {
+        &mut self.adjwgt
+    }
+
+    /// Mutable ghost owners, for seeding corruptions in validator tests.
+    #[doc(hidden)]
+    pub fn ghost_owners_mut_for_test(&mut self) -> &mut Vec<u32> {
+        &mut self.ghost_owner
+    }
+
     /// Gathers the full global graph onto every PE (used once the coarsest
     /// level is small enough for the evolutionary algorithm — §IV-E).
     pub fn gather_global(&self, comm: &Comm) -> CsrGraph {
         // Exchange (global_u, global_v, w) arcs and (global_u, weight).
         let mut arcs: Vec<(Node, Node, Weight)> = Vec::with_capacity(self.adjncy.len());
-        for u in 0..self.n_local() as Node {
+        for u in 0..ids::node_of_index(self.n_local()) {
             let gu = self.local_to_global(u);
             for (v, w) in self.neighbors(u) {
                 arcs.push((gu, self.local_to_global(v), w));
@@ -423,7 +493,7 @@ impl DistGraph {
         }
         let all_arcs = allgatherv(comm, arcs);
         let weights = allgatherv(comm, self.owned_weights().to_vec());
-        let n = self.n_global() as usize;
+        let n = ids::global_index(self.n_global());
         assert_eq!(weights.len(), n, "gathered weight count mismatch");
         // Arcs contain both directions; keep u < v to avoid double insert.
         let mut b = pgp_graph::GraphBuilder::with_capacity(n, all_arcs.len() / 2);
@@ -443,9 +513,7 @@ mod tests {
     use pgp_graph::builder::from_edges;
 
     fn ring(n: usize) -> CsrGraph {
-        let edges: Vec<(Node, Node)> = (0..n)
-            .map(|i| (i as Node, ((i + 1) % n) as Node))
-            .collect();
+        let edges: Vec<(Node, Node)> = (0..n).map(|i| (i as Node, ((i + 1) % n) as Node)).collect();
         from_edges(n, &edges)
     }
 
@@ -469,7 +537,12 @@ mod tests {
         let g = ring(10);
         let stats = run(4, |comm| {
             let dg = DistGraph::from_global(comm, &g);
-            (dg.n_local(), dg.n_ghost(), dg.total_edge_weight(), dg.m_global())
+            (
+                dg.n_local(),
+                dg.n_ghost(),
+                dg.total_edge_weight(),
+                dg.m_global(),
+            )
         });
         let total_local: usize = stats.iter().map(|s| s.0).sum();
         assert_eq!(total_local, 10);
@@ -592,5 +665,52 @@ mod tests {
             dg.n_local()
         });
         assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// `owner` inverts `first`/`last_excl`: every global ID lies in the
+        /// range of exactly the PE that owns it, including degenerate
+        /// distributions (`n_global < p`, `n_global = 0`).
+        #[test]
+        fn owner_agrees_with_ranges(n_global in 0u64..10_000, p in 1usize..64, probe in 0u64..10_000) {
+            let dist = BlockDist::new(n_global, p);
+            // Ranges tile 0..n_global without gaps or overlap.
+            let mut covered = 0u64;
+            for r in 0..p {
+                prop_assert_eq!(dist.first(r), covered, "gap before PE {}", r);
+                prop_assert!(dist.first(r) <= dist.last_excl(r));
+                prop_assert_eq!(
+                    dist.count(r) as u64,
+                    dist.last_excl(r) - dist.first(r)
+                );
+                covered = dist.last_excl(r);
+            }
+            prop_assert_eq!(covered, n_global, "ranges must tile 0..n_global");
+            // Round-trip: owner(g) is the unique PE whose range holds g.
+            if n_global > 0 {
+                let g = pgp_graph::ids::global_node(probe % n_global);
+                let o = dist.owner(g);
+                prop_assert!(o < p);
+                let gg = pgp_graph::ids::node_global(g);
+                prop_assert!(dist.first(o) <= gg && gg < dist.last_excl(o));
+            }
+        }
+
+        /// The empty distribution assigns every PE an empty range.
+        #[test]
+        fn empty_distribution_is_all_empty(p in 1usize..64) {
+            let dist = BlockDist::new(0, p);
+            for r in 0..p {
+                prop_assert_eq!(dist.count(r), 0);
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::comm::{Comm, Tag};
 use crate::dgraph::DistGraph;
+use pgp_graph::ids;
 use pgp_graph::Node;
 
 /// The per-PE exchange state for one label-propagation run.
@@ -32,7 +33,7 @@ impl LabelExchange {
     pub fn new(comm: &Comm, graph: &DistGraph) -> Self {
         let mut buffer_of_rank = vec![u32::MAX; comm.size()];
         for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
-            buffer_of_rank[pe as usize] = i as u32;
+            buffer_of_rank[ids::pe_index(pe)] = ids::offset_of_index(i);
         }
         Self {
             buffers: vec![Vec::new(); graph.adjacent_pes().len()],
@@ -52,8 +53,8 @@ impl LabelExchange {
         }
         let global = graph.local_to_global(local);
         for &pe in pes {
-            let b = self.buffer_of_rank[pe as usize];
-            self.buffers[b as usize].push((global, label));
+            let b = self.buffer_of_rank[ids::pe_index(pe)];
+            self.buffers[ids::offset_index(b)].push((global, label));
         }
         self.updates_recorded += 1;
     }
@@ -82,8 +83,8 @@ impl LabelExchange {
         let tag = comm.fresh_tag_block();
         for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
             let buf = std::mem::take(&mut self.buffers[i]);
-            let n = buf.len() as u64;
-            comm.send_counted(pe as usize, tag, buf, n);
+            let n = ids::count_global(buf.len());
+            comm.send_counted(ids::pe_index(pe), tag, buf, n);
         }
         if let Some(prev) = self.prev_tag {
             self.receive_and_apply(comm, graph, labels, prev, on_update);
@@ -109,8 +110,8 @@ impl LabelExchange {
         let tag = comm.fresh_tag_block();
         for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
             let buf = std::mem::take(&mut self.buffers[i]);
-            let n = buf.len() as u64;
-            comm.send_counted(pe as usize, tag, buf, n);
+            let n = ids::count_global(buf.len());
+            comm.send_counted(ids::pe_index(pe), tag, buf, n);
         }
         self.receive_and_apply(comm, graph, labels, tag, on_update);
     }
@@ -142,12 +143,12 @@ impl LabelExchange {
         mut on_update: impl FnMut(Node, Node, Node),
     ) {
         for &pe in graph.adjacent_pes() {
-            let updates: Vec<(Node, Node)> = comm.recv(pe as usize, tag);
+            let updates: Vec<(Node, Node)> = comm.recv(ids::pe_index(pe), tag);
             for (global, label) in updates {
                 let l = graph.global_to_local(global);
                 debug_assert!(graph.is_ghost(l), "update for non-ghost node {global}");
-                let old = labels[l as usize];
-                labels[l as usize] = label;
+                let old = labels[ids::node_index(l)];
+                labels[ids::node_index(l)] = label;
                 if old != label {
                     on_update(l, old, label);
                 }
@@ -169,9 +170,7 @@ mod tests {
     use pgp_graph::CsrGraph;
 
     fn ring(n: usize) -> CsrGraph {
-        let edges: Vec<(Node, Node)> = (0..n)
-            .map(|i| (i as Node, ((i + 1) % n) as Node))
-            .collect();
+        let edges: Vec<(Node, Node)> = (0..n).map(|i| (i as Node, ((i + 1) % n) as Node)).collect();
         from_edges(n, &edges)
     }
 

@@ -43,7 +43,7 @@ where
     F: Fn(&Comm, u64) -> R + Sync,
 {
     run(p, |comm| {
-        let rank_seed = mix_seed(seed, comm.rank() as u64);
+        let rank_seed = mix_seed(seed, pgp_graph::ids::count_global(comm.rank()));
         f(comm, rank_seed)
     })
 }

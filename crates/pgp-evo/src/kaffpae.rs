@@ -144,16 +144,8 @@ pub fn kaffpae(
             // Combine: two parents, offspring at least as good as the
             // better one.
             let (a, b) = pop.pick_parents(&mut rng).expect("len >= 2");
-            let pa = Partition::from_assignment(
-                graph,
-                cfg.k,
-                pop.members()[a].assignment.clone(),
-            );
-            let pb = Partition::from_assignment(
-                graph,
-                cfg.k,
-                pop.members()[b].assignment.clone(),
-            );
+            let pa = Partition::from_assignment(graph, cfg.k, pop.members()[a].assignment.clone());
+            let pb = Partition::from_assignment(graph, cfg.k, pop.members()[b].assignment.clone());
             let f = rng.gen_range(10.0..25.0);
             let kc = base_kaffpa_config(cfg, rng.gen(), f);
             kaffpa_with_inputs(graph, &kc, &[&pa, &pb])
@@ -216,7 +208,10 @@ mod tests {
             kaffpae(comm, &g, &cfg, Some(&seed_p)).edge_cut(&g)
         });
         for &cut in &results {
-            assert!(cut <= seed_cut, "evo result {cut} worse than seed {seed_cut}");
+            assert!(
+                cut <= seed_cut,
+                "evo result {cut} worse than seed {seed_cut}"
+            );
         }
     }
 
@@ -233,7 +228,10 @@ mod tests {
         };
         let a = run(2, |comm| kaffpae(comm, &g, &initial, None).edge_cut(&g))[0];
         let b = run(2, |comm| kaffpae(comm, &g, &evolved, None).edge_cut(&g))[0];
-        assert!(b <= a, "evolved {b} should not be worse than initial-only {a}");
+        assert!(
+            b <= a,
+            "evolved {b} should not be worse than initial-only {a}"
+        );
     }
 
     #[test]

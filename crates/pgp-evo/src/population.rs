@@ -80,9 +80,7 @@ impl Population {
             }
             self.members.pop();
         }
-        let pos = self
-            .members
-            .partition_point(|m| m.score <= score);
+        let pos = self.members.partition_point(|m| m.score <= score);
         self.members.insert(pos, Individual { assignment, score });
         true
     }

@@ -26,13 +26,7 @@ impl Rumor {
     }
 
     /// Sends `best` to `fanout` distinct random other PEs.
-    pub fn spread(
-        &self,
-        comm: &Comm,
-        rng: &mut impl Rng,
-        fanout: usize,
-        best: &Individual,
-    ) {
+    pub fn spread(&self, comm: &Comm, rng: &mut impl Rng, fanout: usize, best: &Individual) {
         let p = comm.size();
         if p <= 1 {
             return;

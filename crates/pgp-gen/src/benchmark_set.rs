@@ -6,7 +6,7 @@
 //! community structure, locality) at laptop scale — see DESIGN.md §2 for
 //! the substitution argument. Relative sizes between instances are kept.
 
-use crate::{delaunay, mesh, rgg, sbm, ensure_connected};
+use crate::{delaunay, ensure_connected, mesh, rgg, sbm};
 use pgp_graph::CsrGraph;
 
 /// Rough instance classification from Table I.

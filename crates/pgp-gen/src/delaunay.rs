@@ -36,7 +36,9 @@ pub fn delaunay_x(x: u32, seed: u64) -> CsrGraph {
 /// square.
 pub fn delaunay_random(n: usize, seed: u64) -> CsrGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     delaunay_graph(&points)
 }
 
@@ -79,7 +81,7 @@ impl Triangulator {
         let span = (hi_x - lo_x).max(hi_y - lo_y).max(1.0);
         let (cx, cy) = ((lo_x + hi_x) / 2.0, (lo_y + hi_y) / 2.0);
         let s = 64.0 * span;
-        let a = (cx - s, cy - s) ;
+        let a = (cx - s, cy - s);
         let b = (cx + s, cy - s);
         let c = (cx, cy + s);
         pts.push(a);
@@ -119,7 +121,7 @@ impl Triangulator {
         let mut cavity: Vec<u32> = vec![start];
         let mut stack = vec![start];
         self.tris[start as usize].alive = false; // reuse `alive` as "visited"
-        // Boundary edges as (a, b, outside_tri) with the cavity to the left.
+                                                 // Boundary edges as (a, b, outside_tri) with the cavity to the left.
         let mut boundary: Vec<(u32, u32, u32)> = Vec::new();
         while let Some(ti) = stack.pop() {
             let tri = self.tris[ti as usize];

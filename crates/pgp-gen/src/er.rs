@@ -110,8 +110,11 @@ mod tests {
         let p = 0.05;
         let g = gnp(n, p, 7);
         let expect = (n * (n - 1) / 2) as f64 * p;
-        assert!((g.m() as f64) > expect * 0.7 && (g.m() as f64) < expect * 1.3,
-            "m = {} vs expected {expect}", g.m());
+        assert!(
+            (g.m() as f64) > expect * 0.7 && (g.m() as f64) < expect * 1.3,
+            "m = {} vs expected {expect}",
+            g.m()
+        );
         g.validate().unwrap();
     }
 

@@ -24,7 +24,10 @@ pub fn grid2d(nx: usize, ny: usize) -> CsrGraph {
 
 /// An `nx × ny` grid with wrap-around edges (torus).
 pub fn torus2d(nx: usize, ny: usize) -> CsrGraph {
-    assert!(nx >= 3 && ny >= 3, "torus needs at least 3 nodes per dimension");
+    assert!(
+        nx >= 3 && ny >= 3,
+        "torus needs at least 3 nodes per dimension"
+    );
     let n = nx * ny;
     let id = |x: usize, y: usize| (y * nx + x) as Node;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);

@@ -34,7 +34,9 @@ pub fn rgg(n: usize, radius: f64, seed: u64) -> CsrGraph {
 pub fn rgg_with_points(n: usize, radius: f64, seed: u64) -> (CsrGraph, Vec<(f64, f64)>) {
     assert!(radius > 0.0, "radius must be positive");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let g = geometric_graph(&points, radius);
     (g, points)
 }
@@ -115,7 +117,11 @@ mod tests {
             dsu.union(u, v);
         }
         let giant = g.nodes().map(|v| dsu.set_size(v)).max().unwrap() as usize;
-        assert!(giant > g.n() * 95 / 100, "giant component {giant} of {}", g.n());
+        assert!(
+            giant > g.n() * 95 / 100,
+            "giant component {giant} of {}",
+            g.n()
+        );
         g.validate().unwrap();
     }
 

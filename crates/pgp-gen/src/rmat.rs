@@ -46,7 +46,10 @@ impl RmatParams {
 /// structure is what matters for the experiments.
 pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, m);
@@ -105,12 +108,26 @@ mod tests {
         let g = rmat_web(11, 8, 1);
         // Realized average degree is below the target due to dedup, but in
         // the right ballpark.
-        assert!(g.avg_degree() > 3.0 && g.avg_degree() <= 8.0, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 3.0 && g.avg_degree() <= 8.0,
+            "{}",
+            g.avg_degree()
+        );
     }
 
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_params() {
-        rmat(4, 10, RmatParams { a: 0.9, b: 0.2, c: 0.1, d: 0.1 }, 1);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.2,
+                c: 0.1,
+                d: 0.1,
+            },
+            1,
+        );
     }
 }

@@ -33,7 +33,10 @@ impl Default for SbmParams {
 /// Generates an SBM graph of `n` nodes and returns it together with the
 /// ground-truth community of every node.
 pub fn sbm(n: usize, params: SbmParams, seed: u64) -> (CsrGraph, Vec<Node>) {
-    assert!(n >= 2 * params.min_community, "n too small for two communities");
+    assert!(
+        n >= 2 * params.min_community,
+        "n too small for two communities"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
 
     // Draw power-law community sizes until n is covered.
@@ -49,9 +52,9 @@ pub fn sbm(n: usize, params: SbmParams, seed: u64) -> (CsrGraph, Vec<Node>) {
         covered += s;
     }
     // Absorb a tiny trailing community into its predecessor.
-    if sizes.len() >= 2 && *sizes.last().unwrap() < params.min_community {
-        let last = sizes.pop().unwrap();
-        *sizes.last_mut().unwrap() += last;
+    if sizes.len() >= 2 && sizes[sizes.len() - 1] < params.min_community {
+        let last = sizes.pop().expect("len >= 2 guarantees a tail element");
+        *sizes.last_mut().expect("still non-empty after one pop") += last;
     }
 
     let mut community = vec![0 as Node; n];
@@ -113,7 +116,14 @@ mod tests {
 
     #[test]
     fn sizes_respect_minimum() {
-        let (_, truth) = sbm(1000, SbmParams { min_community: 32, ..Default::default() }, 2);
+        let (_, truth) = sbm(
+            1000,
+            SbmParams {
+                min_community: 32,
+                ..Default::default()
+            },
+            2,
+        );
         let k = *truth.iter().max().unwrap() as usize + 1;
         let mut counts = vec![0usize; k];
         for &c in &truth {

@@ -62,7 +62,10 @@ impl GraphBuilder {
 
     /// Non-consuming edge insertion (for loops).
     pub fn push_edge(&mut self, u: Node, v: Node, w: Weight) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
         if u == v {
             return; // self loops carry no cut information
         }

@@ -100,10 +100,7 @@ pub fn project_partition(
     coarse_partition: &Partition,
 ) -> Partition {
     assert_eq!(mapping.len(), fine.n(), "mapping length mismatch");
-    let assignment: Vec<BlockId> = mapping
-        .iter()
-        .map(|&c| coarse_partition.block(c))
-        .collect();
+    let assignment: Vec<BlockId> = mapping.iter().map(|&c| coarse_partition.block(c)).collect();
     Partition::from_assignment(fine, coarse_partition.k(), assignment)
 }
 
@@ -114,10 +111,7 @@ mod tests {
 
     /// Two triangles joined by a bridge.
     fn two_triangles() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -193,7 +187,8 @@ mod proptests {
     fn arb_graph_and_clustering() -> impl Strategy<Value = (CsrGraph, Vec<Node>)> {
         (2usize..24)
             .prop_flat_map(|n| {
-                let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..4), 0..80);
+                let edges =
+                    proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..4), 0..80);
                 let clusters = proptest::collection::vec(0u32..n as u32, n);
                 (Just(n), edges, clusters)
             })

@@ -1,0 +1,150 @@
+//! Blessed conversions between the workspace's ID domains.
+//!
+//! The distributed substrate juggles four integer domains that must never be
+//! silently conflated (ISSUE 1; paper §IV-A):
+//!
+//! * **local/global node IDs** — dense [`Node`] (`u32`) values,
+//! * **array indices** — `usize` positions into CSR/weight arrays,
+//! * **global ID arithmetic** — `u64` (ownership ranges `first..last_excl`,
+//!   prefix sums over all PEs),
+//! * **PE ranks** — `usize` in the comm layer, `u32` when stored in bulk
+//!   (e.g. `DistGraph::ghost_owner`).
+//!
+//! A raw `as` cast between these domains truncates silently on corruption —
+//! a ghost map pointing at garbage keeps "working" until the partition is
+//! quietly wrong. These helpers make every domain crossing explicit and make
+//! narrowing conversions *loud*: they panic with the offending value rather
+//! than wrap. `cargo xtask lint` forbids raw `as` casts between these
+//! domains in the hot-path files; widening conversions are free, narrowing
+//! ones cost one compare that branch prediction hides.
+
+use crate::Node;
+
+/// Node ID → array index (lossless widening on all supported targets).
+#[inline(always)]
+#[must_use]
+pub fn node_index(v: Node) -> usize {
+    v as usize
+}
+
+/// Array index → node ID. Panics if the index exceeds the `Node` domain —
+/// a graph with ≥ 2³² local nodes cannot be represented.
+#[inline(always)]
+#[must_use]
+pub fn node_of_index(i: usize) -> Node {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "index {i} exceeds the Node (u32) domain"
+    );
+    i as Node
+}
+
+/// Node ID → global-arithmetic domain (lossless widening).
+#[inline(always)]
+#[must_use]
+pub fn node_global(v: Node) -> u64 {
+    u64::from(v)
+}
+
+/// Global-arithmetic value → node ID. Panics on values ≥ 2³²: a global ID
+/// outside the `Node` domain means the ownership arithmetic is corrupt.
+#[inline(always)]
+#[must_use]
+pub fn global_node(g: u64) -> Node {
+    debug_assert!(
+        u32::try_from(g).is_ok(),
+        "global ID {g} exceeds the Node (u32) domain"
+    );
+    g as Node
+}
+
+/// Global-arithmetic value → array index (lossless on 64-bit targets,
+/// checked in debug builds elsewhere).
+#[inline(always)]
+#[must_use]
+pub fn global_index(g: u64) -> usize {
+    debug_assert!(
+        usize::try_from(g).is_ok(),
+        "global value {g} exceeds the index (usize) domain"
+    );
+    g as usize
+}
+
+/// Array index / element count → global-arithmetic domain (lossless on all
+/// supported targets).
+#[inline(always)]
+#[must_use]
+pub fn count_global(c: usize) -> u64 {
+    c as u64
+}
+
+/// Compact stored offset/count (`u32`, e.g. interface-CSR offsets) → array
+/// index (lossless widening).
+#[inline(always)]
+#[must_use]
+pub fn offset_index(v: u32) -> usize {
+    v as usize
+}
+
+/// Array index / length → compact stored offset. Panics on lengths ≥ 2³² —
+/// the compact arrays cannot address that much.
+#[inline(always)]
+#[must_use]
+pub fn offset_of_index(i: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "offset {i} exceeds the u32 domain"
+    );
+    i as u32
+}
+
+/// Stored PE rank (`u32`) → comm-layer rank (`usize`, lossless).
+#[inline(always)]
+#[must_use]
+pub fn pe_index(r: u32) -> usize {
+    r as usize
+}
+
+/// Comm-layer rank → stored PE rank. Panics on ranks ≥ 2³² (no realistic
+/// PE group is that large; a huge value here means rank arithmetic wrapped).
+#[inline(always)]
+#[must_use]
+pub fn pe_rank(r: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(r).is_ok(),
+        "PE rank {r} exceeds the u32 domain"
+    );
+    r as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_roundtrips() {
+        for v in [0u32, 1, 77, u32::MAX] {
+            assert_eq!(node_of_index(node_index(v)), v);
+            assert_eq!(global_node(node_global(v)), v);
+        }
+        for r in [0usize, 3, 4095] {
+            assert_eq!(pe_index(pe_rank(r)), r);
+        }
+        assert_eq!(global_index(count_global(12345)), 12345);
+        assert_eq!(offset_index(offset_of_index(4096)), 4096);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "narrowing checks are debug-only")]
+    #[should_panic(expected = "exceeds the Node")]
+    fn narrowing_is_loud() {
+        let _ = global_node(1 << 33);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "narrowing checks are debug-only")]
+    #[should_panic(expected = "exceeds the u32 domain")]
+    fn pe_rank_narrowing_is_loud() {
+        let _ = pe_rank(usize::MAX);
+    }
+}

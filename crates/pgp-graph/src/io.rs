@@ -18,7 +18,12 @@ pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The file content violates the format.
-    Parse { line: usize, msg: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -135,7 +140,10 @@ pub fn read_metis(reader: impl Read) -> Result<CsrGraph, IoError> {
         node += 1;
     }
     if node != n {
-        return Err(perr(0, format!("expected {n} adjacency lines, found {node}")));
+        return Err(perr(
+            0,
+            format!("expected {n} adjacency lines, found {node}"),
+        ));
     }
     let g = match node_weights {
         Some(nw) => builder.node_weights(nw).build(),
@@ -231,7 +239,11 @@ pub fn read_partition(
     if assignment.len() != graph.n() {
         return Err(perr(
             0,
-            format!("{} entries for a graph with {} nodes", assignment.len(), graph.n()),
+            format!(
+                "{} entries for a graph with {} nodes",
+                assignment.len(),
+                graph.n()
+            ),
         ));
     }
     let k = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
@@ -252,7 +264,7 @@ pub fn read_edge_list(reader: impl Read) -> Result<CsrGraph, IoError> {
         let mut tok = t.split_whitespace();
         let u: Node = tok
             .next()
-            .unwrap()
+            .expect("split_whitespace of a non-empty trimmed line yields a token")
             .parse()
             .map_err(|_| perr(no + 1, "bad source id"))?;
         let v: Node = tok
@@ -263,7 +275,11 @@ pub fn read_edge_list(reader: impl Read) -> Result<CsrGraph, IoError> {
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v) in edges {
         b.push_edge(u, v, 1);

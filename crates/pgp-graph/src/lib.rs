@@ -20,6 +20,7 @@ pub mod builder;
 pub mod contract;
 pub mod csr;
 pub mod dsu;
+pub mod ids;
 pub mod io;
 pub mod metrics;
 pub mod ordering;

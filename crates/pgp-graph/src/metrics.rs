@@ -116,10 +116,7 @@ mod tests {
     use crate::builder::from_edges;
 
     fn two_triangles() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -148,7 +145,10 @@ mod tests {
         let good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
         let singletons: Vec<Node> = g.nodes().collect();
         let bad = modularity(&g, &singletons);
-        assert!(good > 0.3, "good clustering should have high modularity, got {good}");
+        assert!(
+            good > 0.3,
+            "good clustering should have high modularity, got {good}"
+        );
         assert!(bad < good);
     }
 
@@ -156,7 +156,10 @@ mod tests {
     fn modularity_of_single_cluster_is_zero() {
         let g = two_triangles();
         let q = modularity(&g, &[0; 6]);
-        assert!(q.abs() < 1e-12, "single cluster modularity must be 0, got {q}");
+        assert!(
+            q.abs() < 1e-12,
+            "single cluster modularity must be 0, got {q}"
+        );
     }
 
     #[test]

@@ -10,13 +10,26 @@ pub type BlockId = u32;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// A node is assigned to a block `>= k`.
-    BlockOutOfRange { node: Node, block: BlockId },
+    BlockOutOfRange {
+        /// The offending node.
+        node: Node,
+        /// Its (out-of-range) block ID.
+        block: BlockId,
+    },
     /// The assignment vector length differs from the graph's node count.
-    LengthMismatch { expected: usize, got: usize },
+    LengthMismatch {
+        /// The graph's node count.
+        expected: usize,
+        /// The assignment vector's length.
+        got: usize,
+    },
     /// A block exceeds `Lmax` for the given `eps`.
     Overloaded {
+        /// The overloaded block.
         block: BlockId,
+        /// Its total node weight.
         weight: Weight,
+        /// The balance ceiling it exceeds.
         lmax: Weight,
     },
 }
@@ -167,7 +180,10 @@ impl Partition {
 
     /// All boundary nodes.
     pub fn boundary_nodes(&self, graph: &CsrGraph) -> Vec<Node> {
-        graph.nodes().filter(|&v| self.is_boundary(graph, v)).collect()
+        graph
+            .nodes()
+            .filter(|&v| self.is_boundary(graph, v))
+            .collect()
     }
 
     /// Number of non-empty blocks.

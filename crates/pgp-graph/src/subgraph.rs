@@ -15,10 +15,7 @@ pub struct Subgraph {
 
 /// Extracts the subgraph induced by the nodes of block `b`.
 pub fn induced_by_block(graph: &CsrGraph, partition: &Partition, b: BlockId) -> Subgraph {
-    let members: Vec<Node> = graph
-        .nodes()
-        .filter(|&v| partition.block(v) == b)
-        .collect();
+    let members: Vec<Node> = graph.nodes().filter(|&v| partition.block(v) == b).collect();
     induced_by_nodes(graph, &members)
 }
 
@@ -55,10 +52,7 @@ mod tests {
     #[test]
     fn induced_block_subgraph() {
         // Two triangles with a bridge; block 0 = {0,1,2}.
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let p = Partition::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]);
         let s = induced_by_block(&g, &p, 0);
         assert_eq!(s.graph.n(), 3);

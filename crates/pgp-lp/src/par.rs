@@ -23,6 +23,7 @@ use crate::cluster_map::ClusterMap;
 use crate::seq::SclpStats;
 use pgp_dmp::collectives::{allreduce_sum, allreduce_sum_vec};
 use pgp_dmp::{Comm, DistGraph, LabelExchange};
+use pgp_graph::ids;
 use pgp_graph::{Node, Weight};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -33,7 +34,7 @@ use std::collections::HashMap;
 /// of the paper's degree ordering: "considering only the local nodes").
 fn local_degree_order(graph: &DistGraph) -> Vec<Node> {
     let n = graph.n_local();
-    let mut order: Vec<Node> = (0..n as Node).collect();
+    let mut order: Vec<Node> = (0..ids::node_of_index(n)).collect();
     order.sort_by_key(|&v| graph.degree(v));
     order
 }
@@ -41,7 +42,7 @@ fn local_degree_order(graph: &DistGraph) -> Vec<Node> {
 /// Initial clustering labels: every node (owned and ghost) starts in its
 /// own singleton cluster, identified by *global* node ID.
 pub fn singleton_labels(graph: &DistGraph) -> Vec<Node> {
-    (0..(graph.n_local() + graph.n_ghost()) as Node)
+    (0..ids::node_of_index(graph.n_local() + graph.n_ghost()))
         .map(|l| graph.local_to_global(l))
         .collect()
 }
@@ -67,13 +68,13 @@ pub fn parallel_sclp_cluster(
     if let Some(c) = constraint {
         assert_eq!(c.len(), n_all, "constraint must cover owned + ghost nodes");
     }
-    let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, comm.rank() as u64));
+    let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, ids::count_global(comm.rank())));
 
     // Localized cluster weights: exact at init because every cluster the PE
     // can see is composed of nodes the PE can see (singletons).
     let mut weights: HashMap<Node, i64> = HashMap::with_capacity(n_all);
-    for l in 0..n_all as Node {
-        *weights.entry(labels[l as usize]).or_insert(0) += graph.node_weight(l) as i64;
+    for l in 0..ids::node_of_index(n_all) {
+        *weights.entry(labels[ids::node_index(l)]).or_insert(0) += graph.node_weight(l) as i64;
     }
 
     let mut exchange = LabelExchange::new(comm, graph);
@@ -88,19 +89,19 @@ pub fn parallel_sclp_cluster(
             if graph.degree(v) == 0 {
                 continue;
             }
-            let cur = labels[v as usize];
+            let cur = labels[ids::node_index(v)];
             map.clear();
             match constraint {
                 None => {
                     for (u, w) in graph.neighbors(v) {
-                        map.add(labels[u as usize], w);
+                        map.add(labels[ids::node_index(u)], w);
                     }
                 }
                 Some(cons) => {
-                    let cv = cons[v as usize];
+                    let cv = cons[ids::node_index(v)];
                     for (u, w) in graph.neighbors(v) {
-                        if cons[u as usize] == cv {
-                            map.add(labels[u as usize], w);
+                        if cons[ids::node_index(u)] == cv {
+                            map.add(labels[ids::node_index(u)], w);
                         }
                     }
                 }
@@ -133,7 +134,7 @@ pub fn parallel_sclp_cluster(
             if best != cur {
                 *weights.entry(cur).or_insert(0) -= cv_weight;
                 *weights.entry(best).or_insert(0) += cv_weight;
-                labels[v as usize] = best;
+                labels[ids::node_index(v)] = best;
                 exchange.record(graph, v, best);
                 moved += 1;
             }
@@ -176,23 +177,26 @@ pub fn parallel_sclp_refine(
     let n_local = graph.n_local();
     let n_all = n_local + graph.n_ghost();
     assert_eq!(blocks.len(), n_all, "blocks must cover owned + ghost nodes");
-    let p = comm.size() as Weight;
-    let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, comm.rank() as u64));
+    let p: Weight = ids::count_global(comm.size());
+    let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, ids::count_global(comm.rank())));
 
     // Exact global block weights: local contribution + allreduce.
     let local_contrib = |blocks: &[Node]| -> Vec<u64> {
         let mut c = vec![0u64; k];
-        for v in 0..n_local as Node {
-            c[blocks[v as usize] as usize] += graph.node_weight(v);
+        for v in 0..ids::node_of_index(n_local) {
+            c[ids::node_index(blocks[ids::node_index(v)])] += graph.node_weight(v);
         }
         c
     };
     let mut exact: Vec<u64> = allreduce_sum_vec(comm, local_contrib(blocks));
 
     let mut exchange = LabelExchange::new(comm, graph);
-    let max_deg = (0..n_local as Node).map(|v| graph.degree(v)).max().unwrap_or(0);
+    let max_deg = (0..ids::node_of_index(n_local))
+        .map(|v| graph.degree(v))
+        .max()
+        .unwrap_or(0);
     let mut map = ClusterMap::with_max_degree(max_deg.max(1));
-    let mut order: Vec<Node> = (0..n_local as Node).collect();
+    let mut order: Vec<Node> = (0..ids::node_of_index(n_local)).collect();
 
     let mut stats = SclpStats::default();
     for round in 0..iterations {
@@ -201,14 +205,15 @@ pub fn parallel_sclp_refine(
         // across PEs (floor share + round-robin remainder, rotated per block
         // and round so small slacks still make progress somewhere), so the
         // per-PE inflows can never jointly exceed Lmax.
-        let r = comm.rank() as u64;
+        let r = ids::count_global(comm.rank());
         let mut budget: Vec<i64> = exact
             .iter()
             .enumerate()
             .map(|(b, &w)| {
                 let slack = lmax.saturating_sub(w);
                 let base = slack / p;
-                let extra = u64::from((r + b as u64 + round as u64) % p < slack % p);
+                let rotation = r + ids::count_global(b) + ids::count_global(round);
+                let extra = u64::from(rotation % p < slack % p);
                 (base + extra) as i64
             })
             .collect();
@@ -219,13 +224,13 @@ pub fn parallel_sclp_refine(
             if graph.degree(v) == 0 {
                 continue;
             }
-            let cur = blocks[v as usize];
+            let cur = blocks[ids::node_index(v)];
             map.clear();
             for (u, w) in graph.neighbors(v) {
-                map.add(blocks[u as usize], w);
+                map.add(blocks[ids::node_index(u)], w);
             }
             let cw = graph.node_weight(v) as i64;
-            let overloaded = view[cur as usize] > lmax as i64;
+            let overloaded = view[ids::node_index(cur)] > lmax as i64;
             let mut best: Node = if overloaded { Node::MAX } else { cur };
             let mut best_w: Weight = if overloaded { 0 } else { map.get(cur) };
             let mut ties = 1u32;
@@ -233,7 +238,7 @@ pub fn parallel_sclp_refine(
                 if c == cur {
                     continue;
                 }
-                if cw > budget[c as usize] {
+                if cw > budget[ids::node_index(c)] {
                     continue; // would risk exceeding Lmax globally
                 }
                 if best == Node::MAX || w > best_w {
@@ -248,10 +253,10 @@ pub fn parallel_sclp_refine(
                 }
             }
             if best != cur && best != Node::MAX {
-                view[cur as usize] -= cw;
-                view[best as usize] += cw;
-                budget[best as usize] -= cw;
-                blocks[v as usize] = best;
+                view[ids::node_index(cur)] -= cw;
+                view[ids::node_index(best)] += cw;
+                budget[ids::node_index(best)] -= cw;
+                blocks[ids::node_index(v)] = best;
                 exchange.record(graph, v, best);
                 moved += 1;
             }
@@ -277,47 +282,47 @@ pub fn parallel_sclp_refine(
         if exact.iter().all(|&w| w <= lmax) {
             break;
         }
-        let r = comm.rank() as u64;
+        let r = ids::count_global(comm.rank());
         let mut budget: Vec<i64> = exact
             .iter()
             .enumerate()
             .map(|(b, &w)| {
                 let slack = lmax.saturating_sub(w);
                 let base = slack / p;
-                let extra = u64::from((r + b as u64 + round) % p < slack % p);
+                let extra = u64::from((r + ids::count_global(b) + round) % p < slack % p);
                 (base + extra) as i64
             })
             .collect();
         let mut view: Vec<i64> = exact.iter().map(|&w| w as i64).collect();
         let mut moved = 0u64;
-        for v in 0..n_local as Node {
-            let cur = blocks[v as usize];
-            if view[cur as usize] <= lmax as i64 {
+        for v in 0..ids::node_of_index(n_local) {
+            let cur = blocks[ids::node_index(v)];
+            if view[ids::node_index(cur)] <= lmax as i64 {
                 continue;
             }
             let cw = graph.node_weight(v) as i64;
             map.clear();
             for (u, w) in graph.neighbors(v) {
-                map.add(blocks[u as usize], w);
+                map.add(blocks[ids::node_index(u)], w);
             }
             // Best target over *all* blocks: maximize connection, break
             // ties toward the lightest block; must fit the budget.
             let mut best: Option<(Weight, i64, Node)> = None;
-            for b in 0..k as Node {
-                if b == cur || cw > budget[b as usize] {
+            for b in 0..ids::node_of_index(k) {
+                if b == cur || cw > budget[ids::node_index(b)] {
                     continue;
                 }
                 let conn = map.get(b);
-                let light = -view[b as usize];
+                let light = -view[ids::node_index(b)];
                 if best.map(|(c, l, _)| (conn, light) > (c, l)).unwrap_or(true) {
                     best = Some((conn, light, b));
                 }
             }
             if let Some((_, _, b)) = best {
-                view[cur as usize] -= cw;
-                view[b as usize] += cw;
-                budget[b as usize] -= cw;
-                blocks[v as usize] = b;
+                view[ids::node_index(cur)] -= cw;
+                view[ids::node_index(b)] += cw;
+                budget[ids::node_index(b)] -= cw;
+                blocks[ids::node_index(v)] = b;
                 exchange.record(graph, v, b);
                 moved += 1;
             }
@@ -475,7 +480,11 @@ mod tests {
         let p = pgp_graph::Partition::from_assignment(&g, k, global);
         let after = p.edge_cut(&g);
         assert!(after < before, "cut {before} -> {after}");
-        assert!(p.max_block_weight() <= lmax, "weight {} > {lmax}", p.max_block_weight());
+        assert!(
+            p.max_block_weight() <= lmax,
+            "weight {} > {lmax}",
+            p.max_block_weight()
+        );
     }
 
     #[test]

@@ -317,10 +317,7 @@ mod tests {
     use pgp_graph::Partition;
 
     fn two_triangles() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -351,7 +348,11 @@ mod tests {
         for v in g.nodes() {
             w[labels[v as usize] as usize] += g.node_weight(v);
         }
-        assert!(w.iter().all(|&x| x <= u), "max cluster {}", w.iter().max().unwrap());
+        assert!(
+            w.iter().all(|&x| x <= u),
+            "max cluster {}",
+            w.iter().max().unwrap()
+        );
         // And the clustering is non-trivial.
         let clusters = w.iter().filter(|&&x| x > 0).count();
         assert!(clusters < g.n() / 2, "only {clusters} clusters");

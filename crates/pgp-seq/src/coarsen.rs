@@ -117,8 +117,10 @@ pub fn coarsen(graph: &CsrGraph, cfg: &CoarsenConfig, constraint: Option<&[Node]
     let mut cur_constraint = constraint.map(|c| c.to_vec());
     let mut level = 0usize;
 
-    while graphs.last().unwrap().n() > cfg.stop_size && level < cfg.max_levels {
-        let g = graphs.last().unwrap();
+    while graphs.last().expect("hierarchy starts non-empty").n() > cfg.stop_size
+        && level < cfg.max_levels
+    {
+        let g = graphs.last().expect("hierarchy starts non-empty");
         let seed = cfg.seed.wrapping_add(level as u64 * 0x9E37);
         let clustering = match cfg.scheme {
             Scheme::ClusterLp { iterations } => {
@@ -137,7 +139,9 @@ pub fn coarsen(graph: &CsrGraph, cfg: &CoarsenConfig, constraint: Option<&[Node]
                 );
                 labels
             }
-            Scheme::Matching => heavy_edge_matching(g, cfg.u_bound, cur_constraint.as_deref(), seed),
+            Scheme::Matching => {
+                heavy_edge_matching(g, cfg.u_bound, cur_constraint.as_deref(), seed)
+            }
         };
         let c = contract_clustering(g, &clustering);
         let shrink = g.n() as f64 / c.coarse.n().max(1) as f64;
@@ -221,7 +225,11 @@ mod tests {
     fn cluster_coarsening_shrinks_community_graph_fast() {
         let (g, _) = pgp_gen::sbm::sbm(1200, pgp_gen::sbm::SbmParams::default(), 1);
         let h = coarsen(&g, &CoarsenConfig::cluster(100, 60, 1), None);
-        assert!(h.coarsest().n() <= 150, "coarsest has {} nodes", h.coarsest().n());
+        assert!(
+            h.coarsest().n() <= 150,
+            "coarsest has {} nodes",
+            h.coarsest().n()
+        );
         // One cluster-contraction step shrinks by a large factor.
         let first_shrink = h.graphs[0].n() as f64 / h.graphs[1].n() as f64;
         assert!(first_shrink > 4.0, "first shrink only {first_shrink}");
@@ -282,7 +290,10 @@ mod tests {
             let mapping = &h.mappings[level - 1];
             let prev = h.project_constraint(&cons, level - 1);
             for (v, &c) in mapping.iter().enumerate() {
-                assert_eq!(proj[c as usize], prev[v], "impure coarse node at level {level}");
+                assert_eq!(
+                    proj[c as usize], prev[v],
+                    "impure coarse node at level {level}"
+                );
             }
         }
     }

@@ -59,7 +59,16 @@ pub fn kway_fm(graph: &CsrGraph, k: usize, labels: &mut [Node], cfg: &FmConfig) 
 
     for _pass in 0..cfg.max_passes {
         stats.passes += 1;
-        let gain = fm_pass(graph, k, labels, &mut weights, cfg, &mut rng, &mut map, &mut stats);
+        let gain = fm_pass(
+            graph,
+            k,
+            labels,
+            &mut weights,
+            cfg,
+            &mut rng,
+            &mut map,
+            &mut stats,
+        );
         if gain <= 0 {
             break;
         }
@@ -132,11 +141,11 @@ fn fm_pass(
     let mut locked = vec![false; n];
     let mut heap: BinaryHeap<(i64, Reverse<u64>, Node, Node, u32)> = BinaryHeap::new();
     let push = |heap: &mut BinaryHeap<(i64, Reverse<u64>, Node, Node, u32)>,
-                    rng: &mut SmallRng,
-                    v: Node,
-                    gain: i64,
-                    target: Node,
-                    ver: u32| {
+                rng: &mut SmallRng,
+                v: Node,
+                gain: i64,
+                target: Node,
+                ver: u32| {
         heap.push((gain, Reverse(rng.gen::<u64>()), v, target, ver));
     };
 
@@ -168,8 +177,7 @@ fn fm_pass(
         if weights[target as usize] + cw > cfg.block_caps[target as usize] {
             // Try to recompute a fresh candidate.
             version[v as usize] += 1;
-            if let Some((g2, t2)) =
-                best_move(graph, labels, weights, &cfg.block_caps, map, v, rng)
+            if let Some((g2, t2)) = best_move(graph, labels, weights, &cfg.block_caps, map, v, rng)
             {
                 push(&mut heap, rng, v, g2, t2, version[v as usize]);
             }
@@ -198,8 +206,7 @@ fn fm_pass(
                 continue;
             }
             version[u as usize] += 1;
-            if let Some((g2, t2)) =
-                best_move(graph, labels, weights, &cfg.block_caps, map, u, rng)
+            if let Some((g2, t2)) = best_move(graph, labels, weights, &cfg.block_caps, map, u, rng)
             {
                 push(&mut heap, rng, u, g2, t2, version[u as usize]);
             }

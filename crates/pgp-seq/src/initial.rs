@@ -86,7 +86,10 @@ fn recurse(
     // Intermediate bisections get only part of the slack so the leaf blocks
     // stay within the global eps despite multiplicative drift.
     let local_cfg = if k > 2 {
-        InitialConfig { eps: cfg.eps * 0.4, ..cfg.clone() }
+        InitialConfig {
+            eps: cfg.eps * 0.4,
+            ..cfg.clone()
+        }
     } else {
         cfg.clone()
     };
@@ -100,7 +103,15 @@ fn recurse(
             right.push(sub.to_parent[local]);
         }
     }
-    recurse(graph, &left, k0, base, cfg, seed.wrapping_mul(0x1234_5677).wrapping_add(1), out);
+    recurse(
+        graph,
+        &left,
+        k0,
+        base,
+        cfg,
+        seed.wrapping_mul(0x1234_5677).wrapping_add(1),
+        out,
+    );
     recurse(
         graph,
         &right,
@@ -212,7 +223,14 @@ mod tests {
     fn kway_partition_validity_for_many_k() {
         let (g, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 3);
         for k in [2, 3, 5, 8, 16] {
-            let p = initial_partition(&g, k, &InitialConfig { seed: k as u64, ..Default::default() });
+            let p = initial_partition(
+                &g,
+                k,
+                &InitialConfig {
+                    seed: k as u64,
+                    ..Default::default()
+                },
+            );
             assert_eq!(p.k(), k);
             // Recursive bisection with eps splits can drift slightly above
             // the global eps; allow a loose factor here.
@@ -247,14 +265,24 @@ mod tests {
             6,
             &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
         );
-        let p = initial_partition(&g, 2, &InitialConfig { attempts: 6, ..Default::default() });
+        let p = initial_partition(
+            &g,
+            2,
+            &InitialConfig {
+                attempts: 6,
+                ..Default::default()
+            },
+        );
         assert_eq!(p.edge_cut(&g), 1);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let g = pgp_gen::ba::barabasi_albert(200, 2, 8);
-        let cfg = InitialConfig { seed: 5, ..Default::default() };
+        let cfg = InitialConfig {
+            seed: 5,
+            ..Default::default()
+        };
         let a = initial_partition(&g, 4, &cfg);
         let b = initial_partition(&g, 4, &cfg);
         assert_eq!(a.assignment(), b.assignment());
@@ -273,7 +301,10 @@ mod tests {
             .add_edge(6, 7)
             .node_weights(vec![4, 4, 4, 4, 1, 1, 1, 1])
             .build();
-        let cfg = InitialConfig { attempts: 4, ..Default::default() };
+        let cfg = InitialConfig {
+            attempts: 4,
+            ..Default::default()
+        };
         let side = bisect(&g, 10, &cfg, 3);
         let w0: Weight = g
             .nodes()

@@ -167,11 +167,7 @@ pub fn project_to_coarsest(hierarchy: &Hierarchy, fine: &Partition) -> Partition
 /// Uncoarsening: project up level by level, refining with LP then FM.
 fn uncoarsen(hierarchy: &Hierarchy, coarse_p: Partition, cfg: &KaffpaConfig) -> Partition {
     let mut p = coarse_p;
-    let l = lmax(
-        hierarchy.graphs[0].total_node_weight(),
-        cfg.k,
-        cfg.eps,
-    );
+    let l = lmax(hierarchy.graphs[0].total_node_weight(), cfg.k, cfg.eps);
     for level in (0..hierarchy.mappings.len()).rev() {
         let fine = &hierarchy.graphs[level];
         p = project_partition(fine, &hierarchy.mappings[level], &p);
@@ -240,7 +236,11 @@ mod tests {
             let assign: Vec<u32> = (0..g.n() as u32).map(|i| i % 4).collect();
             Partition::from_assignment(&g, 4, assign).edge_cut(&g)
         };
-        assert!(p.edge_cut(&g) < rand_cut / 2, "{} vs random {rand_cut}", p.edge_cut(&g));
+        assert!(
+            p.edge_cut(&g) < rand_cut / 2,
+            "{} vs random {rand_cut}",
+            p.edge_cut(&g)
+        );
     }
 
     #[test]

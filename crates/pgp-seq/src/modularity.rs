@@ -179,8 +179,7 @@ fn louvain_moves(
     let mut volume = vec![0.0f64; max_label.max(n - 1) + 1];
     let mut degree = vec![0.0f64; n];
     for v in graph.nodes() {
-        degree[v as usize] =
-            graph.weighted_degree(v) as f64 + 2.0 * internal[v as usize] as f64;
+        degree[v as usize] = graph.weighted_degree(v) as f64 + 2.0 * internal[v as usize] as f64;
         volume[labels[v as usize] as usize] += degree[v as usize];
     }
     let mut map = ClusterMap::with_max_degree(graph.max_degree().max(1));

@@ -1,0 +1,177 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Exposes the `parking_lot` API shape the workspace uses — `lock()`
+//! returning a guard directly (no `Result`) and `Condvar::wait` taking
+//! `&mut MutexGuard` — so the comm layer compiles unchanged. Poisoning is
+//! transparently swallowed (`parking_lot` has no poisoning): a panic while
+//! holding the lock does not poison it for other threads.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A mutual-exclusion primitive with the `parking_lot` API.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Unlike `std`, never
+    /// returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard of [`Mutex::lock`].
+///
+/// The inner `Option` is an implementation detail of [`Condvar::wait`]
+/// (the `std` condvar consumes and returns the guard); it is `Some` at all
+/// times outside that method.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable with the `parking_lot` API.
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    /// Set on every notification; used to sidestep the platform condvar's
+    /// permitted spurious-wakeup storms in tight loops (diagnostics only).
+    notified: AtomicBool,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+            notified: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard`'s lock while parked.
+    /// Spurious wakeups are possible, exactly as with `parking_lot`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one waiting thread. Returns whether a notification was issued
+    /// (always `true` here; `parking_lot` reports whether a thread woke).
+    pub fn notify_one(&self) -> bool {
+        self.notified.store(true, Ordering::Release);
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wakes all waiting threads. Returns the number of woken threads in
+    /// `parking_lot`; the `std` backend cannot count, so this reports 0.
+    pub fn notify_all(&self) -> usize {
+        self.notified.store(true, Ordering::Release);
+        self.inner.notify_all();
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0u8);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut started = lock.lock();
+            *started = true;
+            cvar.notify_one();
+        });
+        let (lock, cvar) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            cvar.wait(&mut started);
+        }
+        t.join().expect("producer thread");
+        assert!(*started);
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable.
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,476 @@
+//! Workspace automation tasks (`cargo xtask <command>`).
+//!
+//! `cargo xtask lint` enforces the repo-specific correctness-wall rules that
+//! clippy cannot express (ISSUE 1):
+//!
+//! 1. **id-cast** — in the ID-domain hot-path files (the distributed
+//!    substrate and the kernels that mix local IDs, global IDs, PE ranks,
+//!    and array indices), raw `as` casts between integer domains are
+//!    forbidden; code must go through the blessed helpers in
+//!    `pgp_graph::ids` or `From`/`TryFrom`. Escape hatch for a genuinely
+//!    domain-free cast: a trailing `// lint:cast-ok: <reason>` comment.
+//! 2. **relaxed-ordering** — `Ordering::Relaxed` is forbidden in the comm
+//!    layer (`crates/pgp-dmp/src`): a relaxed counter that gates a phase
+//!    barrier reorders freely against payload writes. Counters that are
+//!    genuinely diagnostic-only must carry `// lint:relaxed-ok: <reason>`.
+//! 3. **raw-csr-index** — direct indexing into `xadj`/`adjncy`/`adjwgt`
+//!    arrays is only allowed in the CSR-owning modules; everything else
+//!    must use the accessor methods, which keep the head-pointer/target
+//!    arithmetic in one audited place.
+//! 4. **lints-opt-in** — every workspace crate manifest must contain
+//!    `[lints] workspace = true` so the workspace lint gate applies.
+//!
+//! The scanner is line-based with comment/string stripping and skips
+//! `#[cfg(test)]` modules (test code may take shortcuts). It is
+//! deliberately dependency-free so it runs in offline environments.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files where ID-domain discipline is enforced (rule 1).
+const ID_DOMAIN_FILES: &[&str] = &[
+    "crates/pgp-dmp/src/comm.rs",
+    "crates/pgp-dmp/src/collectives.rs",
+    "crates/pgp-dmp/src/dgraph.rs",
+    "crates/pgp-dmp/src/exchange.rs",
+    "crates/pgp-dmp/src/runner.rs",
+    "crates/core/src/contract.rs",
+    "crates/core/src/coarsen.rs",
+    "crates/core/src/partitioner.rs",
+    "crates/pgp-lp/src/par.rs",
+    "crates/pgp-check/src/lib.rs",
+];
+
+/// Cast targets that denote an ID/index/rank domain (rule 1).
+const ID_CAST_TARGETS: &[&str] = &["u32", "u64", "usize", "Node", "Weight"];
+
+/// Modules allowed to index CSR arrays directly (rule 3).
+const CSR_OWNER_FILES: &[&str] = &[
+    "crates/pgp-graph/src/csr.rs",
+    "crates/pgp-graph/src/builder.rs",
+    "crates/pgp-graph/src/contract.rs",
+    "crates/pgp-dmp/src/dgraph.rs",
+    // The validator audits the raw arrays by design.
+    "crates/pgp-check/src/lib.rs",
+];
+
+/// CSR array names whose direct indexing is restricted (rule 3).
+const CSR_ARRAYS: &[&str] = &["xadj[", "adjncy[", "adjwgt["];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            eprintln!("available commands: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <command>");
+            eprintln!("available commands: lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One rule violation.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    for file in rust_sources(&root) {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        scan_file(&file, &rel, &text, &mut violations);
+    }
+    check_manifests(&root, &mut violations);
+
+    if violations.is_empty() {
+        println!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!(
+                "{}:{}: [{}] {}",
+                v.file.display(),
+                v.line,
+                v.rule,
+                v.message
+            );
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The repo root: xtask always runs from somewhere inside the workspace.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|e| panic!("cannot read cwd: {e}"));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("not inside the workspace (no Cargo.toml with crates/ found)");
+        }
+    }
+}
+
+/// All first-party .rs files (crates/* except vendor, plus src/ and tests/).
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut out);
+    }
+    out.retain(|p| !p.components().any(|c| c.as_os_str() == "vendor"));
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Per-file scan state: strips comments/strings, tracks `#[cfg(test)]`
+/// module extents by brace depth, applies the rules.
+fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    let id_domain = ID_DOMAIN_FILES.contains(&rel);
+    let comm_layer = rel.starts_with("crates/pgp-dmp/src/");
+    let csr_restricted = !CSR_OWNER_FILES.contains(&rel);
+    let is_test_file = rel.starts_with("tests/");
+
+    let mut depth: i32 = 0;
+    let mut in_block_comment = false;
+    // When Some(d): inside a #[cfg(test)] item that opened at depth d;
+    // cleared once the brace depth drops back to d.
+    let mut test_region: Option<i32> = None;
+    // Set when a #[cfg(test)] attribute was seen but its item's brace has
+    // not opened yet.
+    let mut pending_test_attr = false;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, was_in_block) = strip_comments(raw_line, in_block_comment);
+        in_block_comment = was_in_block;
+        let code = strip_strings(&code);
+        let trimmed = code.trim();
+
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+
+        if pending_test_attr && opens > 0 {
+            test_region.get_or_insert(depth);
+            pending_test_attr = false;
+        }
+
+        let in_test = is_test_file || test_region.is_some() || pending_test_attr;
+
+        if !in_test {
+            apply_rules(
+                file,
+                rel,
+                lineno,
+                raw_line,
+                &code,
+                id_domain,
+                comm_layer,
+                csr_restricted,
+                violations,
+            );
+        }
+
+        depth += opens - closes;
+        if let Some(d) = test_region {
+            if depth <= d {
+                test_region = None;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing, clearer flat than bundled
+fn apply_rules(
+    file: &Path,
+    rel: &str,
+    lineno: usize,
+    raw_line: &str,
+    code: &str,
+    id_domain: bool,
+    comm_layer: bool,
+    csr_restricted: bool,
+    violations: &mut Vec<Violation>,
+) {
+    // Rule 1: id-cast.
+    if id_domain && !raw_line.contains("lint:cast-ok") {
+        for target in ID_CAST_TARGETS {
+            if let Some(pos) = find_cast(code, target) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "id-cast",
+                    message: format!(
+                        "raw `as {target}` cast in an ID-domain file (col {pos}); use the \
+                         pgp_graph::ids helpers or From/TryFrom, or justify with \
+                         `// lint:cast-ok: <reason>`"
+                    ),
+                });
+                break; // one report per line is enough
+            }
+        }
+    }
+
+    // Rule 2: relaxed-ordering in the comm layer.
+    if comm_layer && code.contains("Ordering::Relaxed") && !raw_line.contains("lint:relaxed-ok") {
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line: lineno,
+            rule: "relaxed-ordering",
+            message: "Ordering::Relaxed in the comm layer; counters that gate phase \
+                      barriers need Acquire/Release (justify diagnostic-only counters \
+                      with `// lint:relaxed-ok: <reason>`)"
+                .to_string(),
+        });
+    }
+
+    // Rule 3: raw CSR indexing outside the owning modules.
+    if csr_restricted && !raw_line.contains("lint:csr-ok") {
+        for arr in CSR_ARRAYS {
+            if let Some(pos) = find_ident_use(code, arr) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "raw-csr-index",
+                    message: format!(
+                        "direct `{}` indexing outside the CSR owners (col {pos}, file {rel}); \
+                         use the accessor methods (neighbors/degree/neighbor_slice)",
+                        arr.trim_end_matches('[')
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Finds ` as <target>` where `<target>` is a complete token; returns the
+/// column, or `None`.
+fn find_cast(code: &str, target: &str) -> Option<usize> {
+    let needle = format!(" as {target}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let abs = from + pos;
+        let after = abs + needle.len();
+        let boundary = code[after..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return Some(abs + 1);
+        }
+        from = after;
+    }
+    None
+}
+
+/// Finds `name[` as an identifier use (not part of a longer identifier,
+/// e.g. `iface_xadj[` must not match `xadj[`).
+fn find_ident_use(code: &str, pattern: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pattern) {
+        let abs = from + pos;
+        let preceded_by_ident = abs > 0
+            && code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded_by_ident {
+            return Some(abs);
+        }
+        from = abs + pattern.len();
+    }
+    None
+}
+
+/// Removes line comments and tracks block comments across lines. Returns
+/// the surviving code and whether a block comment continues past the line.
+fn strip_comments(line: &str, mut in_block: bool) -> (String, bool) {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if in_block {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            break; // line comment: rest of line is gone
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            in_block = true;
+            i += 2;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    (out, in_block)
+}
+
+/// Blanks out string literals (keeps length/columns stable enough for
+/// reporting; escapes handled, raw strings approximated).
+fn strip_strings(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut chars = code.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    let _ = chars.next(); // skip escaped char
+                    out.push('_');
+                    out.push('_');
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => out.push('_'),
+            }
+        } else if c == '"' {
+            in_string = true;
+            out.push('"');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Rule 4: every first-party crate manifest opts into the workspace lints.
+fn check_manifests(root: &Path, violations: &mut Vec<Violation>) {
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if !dir.is_dir() || dir.file_name().is_some_and(|n| n == "vendor") {
+            continue;
+        }
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let has_opt_in = text
+            .split("[lints]")
+            .nth(1)
+            .is_some_and(|after| after.trim_start().starts_with("workspace = true"));
+        if !has_opt_in {
+            violations.push(Violation {
+                file: manifest,
+                line: 1,
+                rule: "lints-opt-in",
+                message: "crate does not opt into the workspace lint gate; add \
+                          `[lints]\\nworkspace = true`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_detection_respects_token_boundaries() {
+        assert!(find_cast("let x = y as u32;", "u32").is_some());
+        assert!(find_cast("let x = y as u32", "u32").is_some());
+        // `as u32` inside a longer token must not match.
+        assert!(find_cast("let x = y as u32x;", "u32").is_none());
+        assert!(find_cast("let x = y as f64;", "u32").is_none());
+    }
+
+    #[test]
+    fn ident_use_respects_prefixes() {
+        assert!(find_ident_use("self.xadj[u]", "xadj[").is_some());
+        assert!(find_ident_use("iface_xadj[u]", "xadj[").is_none());
+        assert!(find_ident_use("let iface_xadj[..]; xadj[0]", "xadj[").is_some());
+    }
+
+    #[test]
+    fn comment_stripping() {
+        let (code, cont) = strip_comments("a /* x */ b // c", false);
+        assert_eq!(code.trim(), "a  b");
+        assert!(!cont);
+        let (code, cont) = strip_comments("a /* open", false);
+        assert_eq!(code.trim(), "a");
+        assert!(cont);
+        let (code, cont) = strip_comments("still */ done", true);
+        assert_eq!(code.trim(), "done");
+        assert!(!cont);
+    }
+
+    #[test]
+    fn string_stripping_hides_contents() {
+        let s = strip_strings(r#"f("x as u64 [adjncy[")"#);
+        assert!(find_cast(&s, "u64").is_none());
+        assert!(find_ident_use(&s, "adjncy[").is_none());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "fn a() { let x = 1 as u64; }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { let y = 2 as u64; }\n\
+                   }\n";
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/pgp-dmp/src/dgraph.rs"),
+            "crates/pgp-dmp/src/dgraph.rs",
+            src,
+            &mut v,
+        );
+        // Only the non-test cast is reported.
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|x| x.line).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].line, 1);
+    }
+}

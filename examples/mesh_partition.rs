@@ -18,7 +18,10 @@ fn main() {
     let k = 8;
     let p = 4;
     for (name, graph) in [
-        ("rgg15", pgp::pgp_gen::ensure_connected(pgp::pgp_gen::rgg::rgg_x(15, 5))),
+        (
+            "rgg15",
+            pgp::pgp_gen::ensure_connected(pgp::pgp_gen::rgg::rgg_x(15, 5)),
+        ),
         ("del14", pgp::pgp_gen::delaunay::delaunay_x(14, 5)),
     ] {
         println!("\n[{name}] n = {}, m = {}", graph.n(), graph.m());
@@ -41,7 +44,10 @@ fn main() {
                 pgp::pgp_baselines::parmetis_like_distributed(comm, &dg, &cfg).expect("fits");
             (allgatherv(comm, local), stats.levels)
         });
-        let (assignment, levels) = results.into_iter().next().unwrap();
+        let (assignment, levels) = results
+            .into_iter()
+            .next()
+            .expect("run() always yields p >= 1 results");
         let part = Partition::from_assignment(&graph, k, assignment);
         println!(
             "  ParMetis-like  : cut = {:>6}, imbalance = {:.3} ({levels} levels)",

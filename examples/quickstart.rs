@@ -32,5 +32,9 @@ fn main() {
     println!("imbalance       : {:.3}", partition.imbalance(&graph));
     println!("assignment      : {:?}", partition.assignment());
     println!("hierarchy depth : {}", stats.levels);
-    assert_eq!(partition.edge_cut(&graph), 1, "the bridge is the optimal cut");
+    assert_eq!(
+        partition.edge_cut(&graph),
+        1,
+        "the bridge is the optimal cut"
+    );
 }

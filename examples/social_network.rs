@@ -48,7 +48,10 @@ fn main() {
         parhip_p.edge_cut(&graph),
         hash_p.edge_cut(&graph)
     );
-    println!("{:<22}{:>12}{:>12}", "comm volume (total)", pv_total, hv_total);
+    println!(
+        "{:<22}{:>12}{:>12}",
+        "comm volume (total)", pv_total, hv_total
+    );
     println!("{:<22}{:>12}{:>12}", "comm volume (max/PE)", pv_max, hv_max);
     println!(
         "{:<22}{:>12.3}{:>12.3}",

@@ -74,7 +74,9 @@ fn main() -> ExitCode {
     };
     let p: usize = arg(&args, "p").and_then(|v| v.parse().ok()).unwrap_or(4);
     let seed: u64 = arg(&args, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
-    let eps: f64 = arg(&args, "eps").and_then(|v| v.parse().ok()).unwrap_or(0.03);
+    let eps: f64 = arg(&args, "eps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03);
 
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;

@@ -20,7 +20,10 @@ fn parhip_beats_matching_baseline_on_social() {
     let (ph, _) = partition_parallel(&g, 4, &parhip_cfg(2, GraphClass::Social, 1));
     let (pm, _) = parmetis_like(&g, 4, &ParmetisLikeConfig::new(2, 1)).expect("no memory model");
     let (a, b) = (ph.edge_cut(&g), pm.edge_cut(&g));
-    assert!(a < b, "parhip {a} should beat matching-baseline {b} on social graphs");
+    assert!(
+        a < b,
+        "parhip {a} should beat matching-baseline {b} on social graphs"
+    );
 }
 
 /// On meshes the baseline is competitive — the gap must be small in both
@@ -93,11 +96,8 @@ fn hash_baseline_profile() {
 #[test]
 fn rb_baseline_is_valid_but_dominated_on_social() {
     let (g, _) = pgp::pgp_gen::sbm::sbm(1500, Default::default(), 8);
-    let rb = pgp::pgp_baselines::recursive_bisection(
-        &g,
-        2,
-        &pgp::pgp_baselines::RbConfig::new(4, 7),
-    );
+    let rb =
+        pgp::pgp_baselines::recursive_bisection(&g, 2, &pgp::pgp_baselines::RbConfig::new(4, 7));
     rb.validate(&g, 0.10).unwrap();
     let (ph, _) = partition_parallel(&g, 2, &parhip_cfg(4, GraphClass::Social, 7));
     assert!(

@@ -34,7 +34,11 @@ fn all_generators() -> Vec<(&'static str, CsrGraph, GraphClass)> {
             GraphClass::Social,
         ),
         ("grid", pgp::pgp_gen::mesh::grid2d(30, 30), GraphClass::Mesh),
-        ("torus", pgp::pgp_gen::mesh::torus2d(25, 25), GraphClass::Mesh),
+        (
+            "torus",
+            pgp::pgp_gen::mesh::torus2d(25, 25),
+            GraphClass::Mesh,
+        ),
         (
             "rgg",
             pgp::pgp_gen::ensure_connected(pgp::pgp_gen::rgg::rgg_x(10, 3)),

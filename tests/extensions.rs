@@ -71,7 +71,11 @@ fn prepartition_public_api() {
     cfg.coarsest_nodes_per_block = 50;
     cfg.deterministic = true;
     let (p, _) = partition_parallel_with_input(&g, 2, &cfg, &input);
-    assert!(p.edge_cut(&g) < input_cut / 2, "{} vs input {input_cut}", p.edge_cut(&g));
+    assert!(
+        p.edge_cut(&g) < input_cut / 2,
+        "{} vs input {input_cut}",
+        p.edge_cut(&g)
+    );
     p.validate(&g, 0.03).unwrap();
 }
 
