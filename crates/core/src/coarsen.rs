@@ -8,7 +8,7 @@ use pgp_dmp::collectives::allreduce;
 use pgp_dmp::{Comm, DistGraph};
 use pgp_graph::ids;
 use pgp_graph::Node;
-use pgp_lp::par::{parallel_sclp_cluster, singleton_labels};
+use pgp_lp::par::{parallel_sclp_cluster_with_scratch, singleton_labels, SclpScratch};
 
 /// One level of the distributed hierarchy.
 pub struct ParLevel {
@@ -48,6 +48,21 @@ pub fn parallel_coarsen(
     cycle: usize,
     constraint: Option<&[Node]>,
 ) -> ParHierarchy {
+    let mut scratch = SclpScratch::new();
+    parallel_coarsen_with_scratch(comm, finest, cfg, cycle, constraint, &mut scratch)
+}
+
+/// As [`parallel_coarsen`], drawing SCLP working memory from `scratch`.
+/// Threading one scratch through all V-cycles lets the finest level (the
+/// same graph every cycle) reuse its cached degree order.
+pub fn parallel_coarsen_with_scratch(
+    comm: &Comm,
+    finest: DistGraph,
+    cfg: &ParhipConfig,
+    cycle: usize,
+    constraint: Option<&[Node]>,
+    scratch: &mut SclpScratch,
+) -> ParHierarchy {
     let stop = cfg.stop_size();
     let mut levels: Vec<ParLevel> = Vec::new();
     let mut current = finest;
@@ -66,7 +81,7 @@ pub fn parallel_coarsen(
         let u = cfg.u_bound(current.total_node_weight(), max_w, cycle);
 
         let mut labels = singleton_labels(&current);
-        parallel_sclp_cluster(
+        parallel_sclp_cluster_with_scratch(
             comm,
             &current,
             u,
@@ -75,6 +90,7 @@ pub fn parallel_coarsen(
                 .wrapping_add(ids::count_global(levels.len()) * 0x51CE + ids::count_global(cycle)),
             &mut labels,
             cur_constraint.as_deref(),
+            scratch,
         );
         let c = parallel_contract(comm, &current, &labels);
 

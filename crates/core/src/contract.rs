@@ -23,7 +23,7 @@ use pgp_dmp::dgraph::BlockDist;
 use pgp_dmp::{Comm, DistGraph};
 use pgp_graph::ids;
 use pgp_graph::{Node, Weight};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Result of one parallel contraction step, from one PE's perspective.
 pub struct ParContraction {
@@ -97,7 +97,7 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
     let my_count = ids::count_global(my_ids.len());
     let offset = exscan_sum(comm, my_count);
     let n_coarse = allreduce_sum(comm, my_count);
-    let q: HashMap<Node, Node> = my_ids
+    let q: FxHashMap<Node, Node> = my_ids
         .iter()
         .enumerate()
         .map(|(i, &c)| (c, ids::global_node(offset + ids::count_global(i))))
@@ -129,13 +129,13 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
             .map(|(owner, idx)| replies[owner][idx])
             .collect()
     };
-    let q_map: HashMap<Node, Node> = want.iter().copied().zip(q_of).collect();
+    let q_map: FxHashMap<Node, Node> = want.iter().copied().zip(q_of).collect();
     let mapping: Vec<Node> = labels.iter().map(|c| q_map[c]).collect();
 
     // -- Step 4: local quotient arcs + weight contributions, redistributed
     //    to the coarse owners.
     let coarse_dist = BlockDist::new(n_coarse, p);
-    let mut arc_agg: HashMap<(Node, Node), Weight> = HashMap::new();
+    let mut arc_agg: FxHashMap<(Node, Node), Weight> = FxHashMap::default();
     for u in 0..ids::node_of_index(n_local) {
         let cu = mapping[ids::node_index(u)];
         for (v, w) in graph.neighbors(u) {
@@ -145,7 +145,7 @@ pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> Par
             }
         }
     }
-    let mut weight_agg: HashMap<Node, Weight> = HashMap::new();
+    let mut weight_agg: FxHashMap<Node, Weight> = FxHashMap::default();
     for u in 0..ids::node_of_index(n_local) {
         *weight_agg.entry(mapping[ids::node_index(u)]).or_insert(0) += graph.node_weight(u);
     }
@@ -205,7 +205,7 @@ pub fn parallel_project_blocks(
     want.sort_unstable();
     want.dedup();
     let answers = query_owner_values(comm, coarse.dist(), &want, |idx| coarse_blocks[idx]);
-    let block_of: HashMap<Node, Node> = want.into_iter().zip(answers).collect();
+    let block_of: FxHashMap<Node, Node> = want.into_iter().zip(answers).collect();
     mapping.iter().map(|c| block_of[c]).collect()
 }
 
@@ -284,7 +284,8 @@ mod tests {
         });
         // Two fine nodes in the same cluster must map to the same coarse id,
         // regardless of which PE owned them.
-        let mut by_cluster: HashMap<Node, Node> = HashMap::new();
+        let mut by_cluster: std::collections::HashMap<Node, Node> =
+            std::collections::HashMap::new();
         for pairs in results {
             for (fine, coarse) in pairs {
                 let cl = clustering[fine as usize];

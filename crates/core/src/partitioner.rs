@@ -7,7 +7,7 @@
 //! parallel uncoarsening, with `r` iterations of parallel SCLP refinement
 //! per level.
 
-use crate::coarsen::{parallel_coarsen, ParHierarchy};
+use crate::coarsen::{parallel_coarsen_with_scratch, ParHierarchy};
 use crate::config::ParhipConfig;
 use crate::contract::parallel_project_blocks;
 use pgp_dmp::collectives::allgatherv;
@@ -15,7 +15,7 @@ use pgp_dmp::{Comm, DistGraph};
 use pgp_evo::{Budget, EvoConfig};
 use pgp_graph::ids;
 use pgp_graph::{lmax, CsrGraph, Node, Partition};
-use pgp_lp::par::parallel_sclp_refine;
+use pgp_lp::par::{parallel_sclp_refine_with_scratch, SclpScratch};
 use std::time::Instant;
 
 /// Per-phase timings and structural statistics of one run (as reported by
@@ -75,10 +75,21 @@ pub fn parhip_distributed_with_input(
     #[cfg(feature = "validate")]
     crate::validate::assert_graph_valid(comm, graph, "parhip input graph");
 
+    // One SCLP scratch for the whole run: the finest graph recurs every
+    // cycle, so its degree order is computed once and reused.
+    let mut scratch = SclpScratch::new();
+
     for cycle in 0..cfg.vcycles.max(1) {
         // ---- Parallel coarsening -------------------------------------
         let t0 = Instant::now();
-        let hierarchy = parallel_coarsen(comm, graph.clone(), cfg, cycle, blocks.as_deref());
+        let hierarchy = parallel_coarsen_with_scratch(
+            comm,
+            graph.clone(),
+            cfg,
+            cycle,
+            blocks.as_deref(),
+            &mut scratch,
+        );
         stats.coarsening_s += t0.elapsed().as_secs_f64();
         if cycle == 0 {
             stats.levels = hierarchy.depth();
@@ -127,7 +138,7 @@ pub fn parhip_distributed_with_input(
             let coarse = &hierarchy.levels[li + 1].graph;
             let mapping = &hierarchy.levels[li].mapping;
             let mut fine_blocks = parallel_project_blocks(comm, coarse, mapping, &level_blocks);
-            parallel_sclp_refine(
+            parallel_sclp_refine_with_scratch(
                 comm,
                 fine,
                 cfg.k,
@@ -135,6 +146,7 @@ pub fn parhip_distributed_with_input(
                 cfg.refine_iterations,
                 cfg.seed.wrapping_add(ids::count_global(cycle * 1000 + li)),
                 &mut fine_blocks,
+                &mut scratch,
             );
             level_blocks = fine_blocks[..fine.n_local()].to_vec();
         }
@@ -149,7 +161,7 @@ pub fn parhip_distributed_with_input(
             for l in fine.n_local()..fine.n_local() + fine.n_ghost() {
                 fb[l] = coarse_partition.block(fine.local_to_global(ids::node_of_index(l)));
             }
-            parallel_sclp_refine(
+            parallel_sclp_refine_with_scratch(
                 comm,
                 fine,
                 cfg.k,
@@ -157,6 +169,7 @@ pub fn parhip_distributed_with_input(
                 cfg.refine_iterations,
                 cfg.seed.wrapping_add(ids::count_global(cycle) * 7919),
                 &mut fb,
+                &mut scratch,
             );
             level_blocks = fb[..fine.n_local()].to_vec();
         }

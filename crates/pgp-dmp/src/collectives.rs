@@ -148,6 +148,19 @@ pub fn allreduce_sum_vec(comm: &Comm, value: Vec<u64>) -> Vec<u64> {
     })
 }
 
+/// Element-wise sum-allreduce of a signed vector (all PEs pass equal
+/// lengths). Used by refinement to combine per-phase block-weight *deltas*,
+/// which are signed even though the weights themselves are not.
+pub fn allreduce_sum_vec_i64(comm: &Comm, value: Vec<i64>) -> Vec<i64> {
+    allreduce(comm, value, |mut a, b| {
+        assert_eq!(a.len(), b.len(), "allreduce vector length mismatch");
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    })
+}
+
 /// Min-allreduce of `(value, rank)` — "who has the best partition".
 pub fn allreduce_min_with_rank(comm: &Comm, value: u64) -> (u64, usize) {
     allreduce(comm, (value, comm.rank()), |a, b| if b < a { b } else { a })
@@ -302,6 +315,15 @@ mod tests {
             allreduce_sum_vec(comm, vec![comm.rank() as u64, 1])
         });
         assert!(r.iter().all(|v| v == &vec![6, 4]));
+    }
+
+    #[test]
+    fn allreduce_vec_i64_sums_signed_deltas() {
+        let r = run(4, |comm| {
+            let delta = vec![comm.rank() as i64 - 1, -(comm.rank() as i64)];
+            allreduce_sum_vec_i64(comm, delta)
+        });
+        assert!(r.iter().all(|v| v == &vec![2, -6]));
     }
 
     #[test]

@@ -1,15 +1,33 @@
 //! Point-to-point message passing between simulated processing elements.
 //!
-//! Each PE owns a mailbox (a mutex-protected deque plus a condvar). A
-//! [`Comm`] handle identifies one PE and can send a typed message to any
-//! other PE and *selectively* receive by `(source, tag)` — the same
-//! programming model as MPI's `MPI_Send`/`MPI_Recv` with tags, which is what
-//! the paper's implementation uses. Payloads move as `Box<dyn Any>` between
-//! threads of one process, so "serialization" is a pointer move; the
-//! *communication pattern and volume* of the algorithms built on top are
-//! nevertheless exactly those of the MPI program (see DESIGN.md §2).
+//! Each PE owns a mailbox bucketed by `(source, tag)`: a per-sender slot
+//! array indexed by a hash of the tag, with a small overflow list for slot
+//! collisions. A [`Comm`] handle identifies one PE and can send a typed
+//! message to any other PE and *selectively* receive by `(source, tag)` —
+//! the same programming model as MPI's `MPI_Send`/`MPI_Recv` with tags,
+//! which is what the paper's implementation uses. Selective receive is an
+//! O(1) bucket lookup instead of an O(queue) scan, so deep tag backlogs
+//! (phase-overlapped exchanges, pipelined collectives) stay cheap.
+//!
+//! Payloads move between threads of one process, so "serialization" is a
+//! pointer move. The dominant payload types — `Vec<(Node, Node)>` label
+//! updates and `Vec<u64>` reduction vectors — travel through a typed enum
+//! fast path with no `Box<dyn Any>` allocation; everything else falls back
+//! to boxing. The *communication pattern and volume* of the algorithms
+//! built on top are nevertheless exactly those of the MPI program (see
+//! DESIGN.md §2 and the "Hot-path memory layout" section).
+//!
+//! # Single-consumer invariant
+//!
+//! Mailbox `r` is only ever *received from* by PE `r`'s own thread (every
+//! `recv*`/`drain` call operates on `self.rank`'s mailbox). At most one
+//! thread can therefore be parked on a mailbox's condvar at any time, which
+//! makes `notify_one` on the send path sufficient — there is no second
+//! waiter a wakeup could be lost to. The loom model in
+//! `tests/concurrency.rs` checks this handshake.
 
 use parking_lot::{Condvar, Mutex};
+use pgp_graph::Node;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,16 +37,156 @@ use std::sync::Arc;
 /// that back-to-back collective calls on different PEs can never interleave.
 pub type Tag = u64;
 
-struct Envelope {
-    src: usize,
-    tag: Tag,
-    payload: Box<dyn Any + Send>,
+/// A message payload. The two variants before `Other` are the dominant
+/// payload types on the hot path (ghost-label updates and reduction
+/// vectors); they move as plain enum variants with no heap indirection
+/// beyond the `Vec` itself. Everything else is boxed as `dyn Any`.
+enum Payload {
+    /// Ghost-label / assignment updates: the `LabelExchange` wire format.
+    Pairs(Vec<(Node, Node)>),
+    /// Reduction and gather vectors used by the collectives.
+    U64s(Vec<u64>),
+    /// Fallback for all other message types.
+    Other(Box<dyn Any + Send>),
 }
 
+/// Wraps `msg` into a [`Payload`], routing the dominant types into their
+/// unboxed variants. The `Option` dance moves the value out through a
+/// `&mut dyn Any` without `unsafe` and without boxing on the fast path.
+fn pack<T: Send + 'static>(msg: T) -> Payload {
+    let mut slot = Some(msg);
+    let any: &mut dyn Any = &mut slot;
+    if let Some(v) = any.downcast_mut::<Option<Vec<(Node, Node)>>>() {
+        return Payload::Pairs(v.take().expect("freshly wrapped"));
+    }
+    if let Some(v) = any.downcast_mut::<Option<Vec<u64>>>() {
+        return Payload::U64s(v.take().expect("freshly wrapped"));
+    }
+    Payload::Other(Box::new(slot.take().expect("freshly wrapped")))
+}
+
+/// Unwraps a [`Payload`] back into `T`, symmetric to [`pack`].
+///
+/// # Panics
+/// Panics if the payload's type does not match `T` — that is a protocol
+/// bug, not a runtime condition.
+fn unpack<T: Send + 'static>(payload: Payload, src: usize, tag: Tag) -> T {
+    match payload {
+        Payload::Pairs(v) => {
+            let mut slot = Some(v);
+            let any: &mut dyn Any = &mut slot;
+            match any.downcast_mut::<Option<T>>() {
+                Some(out) => out.take().expect("freshly wrapped"),
+                None => panic!("type mismatch on tag {tag} from {src}"),
+            }
+        }
+        Payload::U64s(v) => {
+            let mut slot = Some(v);
+            let any: &mut dyn Any = &mut slot;
+            match any.downcast_mut::<Option<T>>() {
+                Some(out) => out.take().expect("freshly wrapped"),
+                None => panic!("type mismatch on tag {tag} from {src}"),
+            }
+        }
+        Payload::Other(b) => *b
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}")),
+    }
+}
+
+/// Direct-mapped tag slots per sender; collisions spill to the overflow
+/// list. Eight covers the tags simultaneously in flight from one sender in
+/// steady state (one exchange phase + one collective round).
+const SLOTS_PER_SRC: usize = 8;
+
+/// Maps a tag to its direct slot. Tag blocks differ in bits ≥ 16, rounds
+/// within a block in the low bits; folding 16-bit halves before the
+/// multiply spreads both.
+fn slot_of(tag: Tag) -> usize {
+    (((tag ^ (tag >> 16)).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 61) as usize // lint:cast-ok: 3-bit slot index, always < SLOTS_PER_SRC
+}
+
+/// FIFO of messages for one `(src, tag)` pair. `tag` is only meaningful
+/// while `fifo` is non-empty: an emptied queue is claimable by any tag and
+/// keeps its ring-buffer allocation, so steady-state traffic reuses it.
 #[derive(Default)]
+struct TagQueue {
+    tag: Tag,
+    fifo: VecDeque<Payload>,
+}
+
+/// All pending messages from one sender, bucketed by tag.
+///
+/// Invariant: at most one *non-empty* [`TagQueue`] exists per tag (matching
+/// queues are always preferred over claiming empty ones), so FIFO order per
+/// `(src, tag)` is the order within that single queue.
+#[derive(Default)]
+struct SrcState {
+    slots: [TagQueue; SLOTS_PER_SRC],
+    overflow: Vec<TagQueue>,
+}
+
+impl SrcState {
+    /// Appends `payload` to the queue for `tag`, claiming or creating a
+    /// queue if none is active.
+    fn push(&mut self, tag: Tag, payload: Payload) {
+        let s = slot_of(tag);
+        if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
+            self.slots[s].fifo.push_back(payload);
+            return;
+        }
+        if let Some(q) = self
+            .overflow
+            .iter_mut()
+            .find(|q| !q.fifo.is_empty() && q.tag == tag)
+        {
+            q.fifo.push_back(payload);
+            return;
+        }
+        if self.slots[s].fifo.is_empty() {
+            self.slots[s].tag = tag;
+            self.slots[s].fifo.push_back(payload);
+            return;
+        }
+        if let Some(q) = self.overflow.iter_mut().find(|q| q.fifo.is_empty()) {
+            q.tag = tag;
+            q.fifo.push_back(payload);
+            return;
+        }
+        self.overflow.push(TagQueue {
+            tag,
+            fifo: VecDeque::from([payload]),
+        });
+    }
+
+    /// The active (non-empty) queue for `tag`, if any.
+    fn queue_mut(&mut self, tag: Tag) -> Option<&mut VecDeque<Payload>> {
+        let s = slot_of(tag);
+        if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
+            return Some(&mut self.slots[s].fifo);
+        }
+        self.overflow
+            .iter_mut()
+            .find(|q| !q.fifo.is_empty() && q.tag == tag)
+            .map(|q| &mut q.fifo)
+    }
+
+    /// Removes and returns the oldest message for `tag`.
+    fn take(&mut self, tag: Tag) -> Option<Payload> {
+        self.queue_mut(tag).and_then(VecDeque::pop_front)
+    }
+}
+
+/// One PE's incoming-message state: per-sender tag buckets under a single
+/// mutex, plus the condvar its owner thread parks on (see the
+/// single-consumer invariant in the module docs).
 struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    inner: Mutex<MailboxInner>,
     signal: Condvar,
+}
+
+struct MailboxInner {
+    by_src: Vec<SrcState>,
 }
 
 /// The shared state of a PE group.
@@ -47,7 +205,14 @@ impl Universe {
     pub fn new(size: usize) -> Arc<Self> {
         assert!(size > 0, "need at least one PE");
         Arc::new(Self {
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            mailboxes: (0..size)
+                .map(|_| Mailbox {
+                    inner: Mutex::new(MailboxInner {
+                        by_src: (0..size).map(|_| SrcState::default()).collect(),
+                    }),
+                    signal: Condvar::new(),
+                })
+                .collect(),
             messages_sent: AtomicU64::new(0),
             elements_sent: AtomicU64::new(0),
         })
@@ -121,16 +286,15 @@ impl Comm {
         self.universe
             .elements_sent
             .fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
+        let payload = pack(msg);
         let mb = &self.universe.mailboxes[dst];
         {
-            let mut q = mb.queue.lock();
-            q.push_back(Envelope {
-                src: self.rank,
-                tag,
-                payload: Box::new(msg),
-            });
+            let mut inner = mb.inner.lock();
+            inner.by_src[self.rank].push(tag, payload);
         }
-        mb.signal.notify_all();
+        // Single-consumer invariant (module docs): only `dst`'s own thread
+        // waits on this condvar, so one targeted wakeup suffices.
+        mb.signal.notify_one();
     }
 
     /// Blocking selective receive: waits for a message from `src` with
@@ -141,73 +305,64 @@ impl Comm {
     /// that is a protocol bug, not a runtime condition.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
         let mb = &self.universe.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
+        let mut inner = mb.inner.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
-                let env = q.remove(pos).expect("position was valid");
-                drop(q);
-                return *env
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}"));
+            if let Some(payload) = inner.by_src[src].take(tag) {
+                drop(inner);
+                return unpack(payload, src, tag);
             }
-            mb.signal.wait(&mut q);
+            mb.signal.wait(&mut inner);
         }
     }
 
     /// Non-blocking selective receive.
     pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Option<T> {
         let mb = &self.universe.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
-        let pos = q.iter().position(|e| e.src == src && e.tag == tag)?;
-        let env = q.remove(pos).expect("position was valid");
-        drop(q);
-        Some(
-            *env.payload
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}")),
-        )
+        let mut inner = mb.inner.lock();
+        let payload = inner.by_src[src].take(tag)?;
+        drop(inner);
+        Some(unpack(payload, src, tag))
     }
 
     /// Blocking receive from *any* source with `tag`; returns `(src, msg)`.
+    /// Sources are scanned in rank order, which is as deterministic as the
+    /// arrival interleaving allows (only the randomized rumor-spreading
+    /// protocol receives this way).
     pub fn recv_any<T: Send + 'static>(&self, tag: Tag) -> (usize, T) {
         let mb = &self.universe.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
+        let mut inner = mb.inner.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.tag == tag) {
-                let env = q.remove(pos).expect("position was valid");
-                drop(q);
-                let msg = *env
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag}"));
-                return (env.src, msg);
+            let size = inner.by_src.len();
+            for src in 0..size {
+                if let Some(payload) = inner.by_src[src].take(tag) {
+                    drop(inner);
+                    return (src, unpack(payload, src, tag));
+                }
             }
-            mb.signal.wait(&mut q);
+            mb.signal.wait(&mut inner);
         }
     }
 
     /// Drains all currently queued messages with `tag` (any source) without
     /// blocking — used by the rumor-spreading protocol, which is fire-and-
-    /// forget.
+    /// forget. Results are grouped by source rank, FIFO within a source.
     pub fn drain<T: Send + 'static>(&self, tag: Tag) -> Vec<(usize, T)> {
         let mb = &self.universe.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < q.len() {
-            if q[i].tag == tag {
-                let env = q.remove(i).expect("position was valid");
-                let msg = *env
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch on tag {tag}"));
-                out.push((env.src, msg));
-            } else {
-                i += 1;
+        let mut raw: Vec<(usize, Payload)> = Vec::new();
+        {
+            let mut inner = mb.inner.lock();
+            let size = inner.by_src.len();
+            for src in 0..size {
+                if let Some(q) = inner.by_src[src].queue_mut(tag) {
+                    while let Some(payload) = q.pop_front() {
+                        raw.push((src, payload));
+                    }
+                }
             }
         }
-        out
+        raw.into_iter()
+            .map(|(src, payload)| (src, unpack(payload, src, tag)))
+            .collect()
     }
 
     /// Allocates a fresh block of 2^16 tags for one collective operation or
@@ -227,6 +382,7 @@ impl Comm {
 mod tests {
 
     use crate::run;
+    use pgp_graph::Node;
 
     #[test]
     fn ping_pong() {
@@ -317,5 +473,56 @@ mod tests {
         // After the barrier-free exchange, at least one message was recorded.
         assert!(results.iter().any(|&(m, _)| m >= 1));
         assert!(results.iter().any(|&(_, e)| e >= 3));
+    }
+
+    #[test]
+    fn typed_fast_path_roundtrip() {
+        // The dominant payload types travel unboxed; this exercises both
+        // fast-path variants plus the boxed fallback through one mailbox.
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![(3 as Node, 4 as Node), (5, 6)]);
+                comm.send(1, 2, vec![7u64, 8, 9]);
+                comm.send(1, 3, ("boxed".to_string(), 10u32));
+                0
+            } else {
+                let pairs: Vec<(Node, Node)> = comm.recv(0, 1);
+                let words: Vec<u64> = comm.recv(0, 2);
+                let (s, x): (String, u32) = comm.recv(0, 3);
+                assert_eq!(pairs, vec![(3, 4), (5, 6)]);
+                assert_eq!(s, "boxed");
+                words.iter().sum::<u64>() + u64::from(x)
+            }
+        });
+        assert_eq!(results[1], 34);
+    }
+
+    #[test]
+    fn many_tags_one_sender_fifo_per_tag() {
+        // Force slot collisions (more live tags than direct slots) and check
+        // FIFO order within each tag while receiving tags out of order.
+        const TAGS: u64 = 40;
+        const PER_TAG: u64 = 5;
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..PER_TAG {
+                    for t in 0..TAGS {
+                        comm.send(1, 100 + t, t * 1000 + i);
+                    }
+                }
+                0
+            } else {
+                let mut ok = 0u64;
+                for t in (0..TAGS).rev() {
+                    for i in 0..PER_TAG {
+                        let v: u64 = comm.recv(0, 100 + t);
+                        assert_eq!(v, t * 1000 + i, "FIFO broken for tag {t}");
+                        ok += 1;
+                    }
+                }
+                ok
+            }
+        });
+        assert_eq!(results[1], TAGS * PER_TAG);
     }
 }

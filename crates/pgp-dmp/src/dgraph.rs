@@ -11,7 +11,7 @@ use crate::collectives::{allgatherv, allreduce_sum, alltoallv};
 use crate::comm::Comm;
 use pgp_graph::ids;
 use pgp_graph::{CsrGraph, Node, Weight, INVALID_NODE};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Block distribution of `n` global nodes over `p` PEs: PE `r` owns the
 /// global IDs `r·⌈n/p⌉ .. min((r+1)·⌈n/p⌉, n)`.
@@ -76,7 +76,7 @@ pub struct DistGraph {
     /// Ghost local index → owning PE.
     ghost_owner: Vec<u32>,
     /// Global ID → ghost local ID.
-    ghost_map: HashMap<Node, Node>,
+    ghost_map: FxHashMap<Node, Node>,
     /// For each owned node, the PEs owning at least one of its ghost
     /// neighbours (CSR layout). Non-empty ⇔ the node is an interface node.
     iface_xadj: Vec<u32>,
@@ -156,7 +156,8 @@ impl DistGraph {
             })
             .collect();
         let replies = alltoallv(comm, answers);
-        let mut ghost_weight: HashMap<Node, Weight> = HashMap::with_capacity(ghosts.len());
+        let mut ghost_weight: FxHashMap<Node, Weight> =
+            FxHashMap::with_capacity_and_hasher(ghosts.len(), Default::default());
         for (pe, qs) in queries.iter().enumerate() {
             for (i, &g) in qs.iter().enumerate() {
                 ghost_weight.insert(g, replies[pe][i]);
@@ -186,7 +187,7 @@ impl DistGraph {
         // Ghost discovery in first-appearance order is fine; we sort arcs so
         // the order is deterministic.
         let mut ghost_global: Vec<Node> = Vec::new();
-        let mut ghost_map: HashMap<Node, Node> = HashMap::new();
+        let mut ghost_map: FxHashMap<Node, Node> = FxHashMap::default();
         let mut xadj = vec![0u64; n_local + 1];
         let mut adjncy = Vec::with_capacity(arcs.len());
         let mut adjwgt = Vec::with_capacity(arcs.len());
@@ -447,7 +448,7 @@ impl DistGraph {
     }
 
     /// The global→ghost-local map (validator access).
-    pub fn ghost_map(&self) -> &HashMap<Node, Node> {
+    pub fn ghost_map(&self) -> &FxHashMap<Node, Node> {
         &self.ghost_map
     }
 
@@ -458,7 +459,7 @@ impl DistGraph {
 
     /// Mutable ghost map, for seeding corruptions in validator tests.
     #[doc(hidden)]
-    pub fn ghost_map_mut_for_test(&mut self) -> &mut HashMap<Node, Node> {
+    pub fn ghost_map_mut_for_test(&mut self) -> &mut FxHashMap<Node, Node> {
         &mut self.ghost_map
     }
 

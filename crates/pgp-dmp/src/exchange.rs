@@ -8,6 +8,13 @@
 //! received and applied — computation of the next phase overlaps the
 //! delivery of the current one. Once the algorithm converges, buffers are
 //! empty and the communication volume is negligible, as the paper notes.
+//!
+//! Buffers are recycled through a free-list: a sent buffer's allocation
+//! travels to the receiver inside the message, and the receiver parks it in
+//! its own pool after applying the updates. Since exchange traffic is
+//! symmetric (every adjacent pair sends both ways each phase), each PE's
+//! pool refills at the same rate its send buffers drain, and steady-state
+//! phases allocate nothing (see DESIGN.md "Hot-path memory layout").
 
 use crate::comm::{Comm, Tag};
 use crate::dgraph::DistGraph;
@@ -21,6 +28,10 @@ pub struct LabelExchange {
     buffers: Vec<Vec<(Node, Node)>>,
     /// Dense rank → buffer index, `u32::MAX` when not adjacent.
     buffer_of_rank: Vec<u32>,
+    /// Free-list of spent update vectors (cleared, capacity retained);
+    /// refilled by [`LabelExchange::receive_and_apply`], drained when send
+    /// buffers are handed off at a phase boundary.
+    pool: Vec<Vec<(Node, Node)>>,
     /// Tag used for the previous phase's sends (to receive them later).
     prev_tag: Option<Tag>,
     /// Number of updates recorded over the lifetime of the exchange
@@ -38,6 +49,7 @@ impl LabelExchange {
         Self {
             buffers: vec![Vec::new(); graph.adjacent_pes().len()],
             buffer_of_rank,
+            pool: Vec::new(),
             prev_tag: None,
             updates_recorded: 0,
         }
@@ -81,11 +93,7 @@ impl LabelExchange {
         on_update: impl FnMut(Node, Node, Node),
     ) {
         let tag = comm.fresh_tag_block();
-        for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
-            let buf = std::mem::take(&mut self.buffers[i]);
-            let n = ids::count_global(buf.len());
-            comm.send_counted(ids::pe_index(pe), tag, buf, n);
-        }
+        self.send_buffers(comm, graph, tag);
         if let Some(prev) = self.prev_tag {
             self.receive_and_apply(comm, graph, labels, prev, on_update);
         }
@@ -108,11 +116,7 @@ impl LabelExchange {
         on_update: impl FnMut(Node, Node, Node),
     ) {
         let tag = comm.fresh_tag_block();
-        for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
-            let buf = std::mem::take(&mut self.buffers[i]);
-            let n = ids::count_global(buf.len());
-            comm.send_counted(ids::pe_index(pe), tag, buf, n);
-        }
+        self.send_buffers(comm, graph, tag);
         self.receive_and_apply(comm, graph, labels, tag, on_update);
     }
 
@@ -134,6 +138,17 @@ impl LabelExchange {
         }
     }
 
+    /// Hands every send buffer to its adjacent PE for `tag`, replacing it
+    /// with a recycled vector from the pool (or an empty one early on).
+    fn send_buffers(&mut self, comm: &Comm, graph: &DistGraph, tag: Tag) {
+        for (i, &pe) in graph.adjacent_pes().iter().enumerate() {
+            let replacement = self.pool.pop().unwrap_or_default();
+            let buf = std::mem::replace(&mut self.buffers[i], replacement);
+            let n = ids::count_global(buf.len());
+            comm.send_counted(ids::pe_index(pe), tag, buf, n);
+        }
+    }
+
     fn receive_and_apply(
         &mut self,
         comm: &Comm,
@@ -142,9 +157,12 @@ impl LabelExchange {
         tag: Tag,
         mut on_update: impl FnMut(Node, Node, Node),
     ) {
+        // One send + one in-flight overlap phase per adjacent PE bounds the
+        // number of vectors ever usefully parked.
+        let pool_cap = 2 * self.buffers.len();
         for &pe in graph.adjacent_pes() {
-            let updates: Vec<(Node, Node)> = comm.recv(ids::pe_index(pe), tag);
-            for (global, label) in updates {
+            let mut updates: Vec<(Node, Node)> = comm.recv(ids::pe_index(pe), tag);
+            for &(global, label) in &updates {
                 let l = graph.global_to_local(global);
                 debug_assert!(graph.is_ghost(l), "update for non-ghost node {global}");
                 let old = labels[ids::node_index(l)];
@@ -152,6 +170,10 @@ impl LabelExchange {
                 if old != label {
                     on_update(l, old, label);
                 }
+            }
+            if self.pool.len() < pool_cap {
+                updates.clear();
+                self.pool.push(updates);
             }
         }
     }

@@ -113,6 +113,46 @@ fn selective_receive_under_contention() {
     assert_eq!(results[1], 500);
 }
 
+/// Many senders × many tags — more distinct live tags than the mailbox has
+/// direct slot buckets (8), so the overflow path is exercised under
+/// contention. Every (source, tag) stream must stay FIFO, and the
+/// adversarial receive order (reversed tags, reversed sources) must never
+/// lose a wakeup: each `recv` below blocks until its exact stream head
+/// arrives.
+#[test]
+fn many_senders_many_tags_fifo_per_src_tag() {
+    const TAGS: u64 = 24;
+    const PER_TAG: u64 = 8;
+    let p = 5;
+    let results = run(p, |comm| {
+        if comm.rank() != 0 {
+            // Interleave tags so bucket queues fill round-robin rather than
+            // one tag at a time.
+            for seq in 0..PER_TAG {
+                for tag in 0..TAGS {
+                    let payload = comm.rank() as u64 * 1_000_000 + tag * 1_000 + seq;
+                    comm.send(0, 500 + tag, payload);
+                }
+            }
+            u64::MAX
+        } else {
+            let mut ok = 0u64;
+            for tag in (0..TAGS).rev() {
+                for src in (1..comm.size()).rev() {
+                    for seq in 0..PER_TAG {
+                        let v: u64 = comm.recv(src, 500 + tag);
+                        let expect = src as u64 * 1_000_000 + tag * 1_000 + seq;
+                        assert_eq!(v, expect, "stream (src={src}, tag={tag}) broke FIFO");
+                        ok += 1;
+                    }
+                }
+            }
+            ok
+        }
+    });
+    assert_eq!(results[0], TAGS * PER_TAG * 4);
+}
+
 /// Collectives under repetition: tag blocks from `fresh_tag_block` must
 /// keep back-to-back barriers/allreduces from interfering.
 #[test]
@@ -134,49 +174,117 @@ fn repeated_collectives_do_not_interfere() {
     );
 }
 
-/// Exhaustive loom model of the mailbox handshake (see module docs for how
-/// to enable). Checks that with a producer pushing-then-notifying and a
-/// consumer waiting-then-selectively-removing, the consumer observes every
-/// message exactly once under *all* interleavings — i.e. the lost-wakeup
-/// and double-delivery schedules are impossible with this lock discipline.
+/// Exhaustive loom model of the *bucketed* mailbox handshake (see module
+/// docs for how to enable). The model mirrors `comm.rs`: messages land in
+/// per-tag FIFO queues (fixed slots plus an overflow list, claimed in the
+/// same order as the real `SrcState::push`), the producer notifies with
+/// `notify_one`, and a *single* consumer waits then selectively removes —
+/// the single-consumer invariant is exactly what makes `notify_one` safe,
+/// and the model checks that no interleaving loses a wakeup or breaks
+/// per-tag FIFO under it. Slot count is 2 (not 8) to keep the state space
+/// small; the two model tags deliberately collide on one slot so the
+/// overflow claim path is inside the checked schedules.
 #[cfg(loom)]
 mod loom_model {
     use loom::sync::{Arc, Condvar, Mutex};
     use loom::thread;
     use std::collections::VecDeque;
 
+    const SLOTS: usize = 2;
+
+    #[derive(Default)]
+    struct TagQueue {
+        tag: u64,
+        fifo: VecDeque<u64>,
+    }
+
+    #[derive(Default)]
+    struct SrcState {
+        slots: [TagQueue; SLOTS],
+        overflow: Vec<TagQueue>,
+    }
+
+    fn slot_of(tag: u64) -> usize {
+        tag as usize % SLOTS
+    }
+
+    impl SrcState {
+        // Same claim order as `comm.rs`: live slot match, live overflow
+        // match, empty-slot claim, empty-overflow claim, append.
+        fn push(&mut self, tag: u64, val: u64) {
+            let s = slot_of(tag);
+            if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
+                self.slots[s].fifo.push_back(val);
+                return;
+            }
+            if let Some(q) = self
+                .overflow
+                .iter_mut()
+                .find(|q| !q.fifo.is_empty() && q.tag == tag)
+            {
+                q.fifo.push_back(val);
+                return;
+            }
+            let claimed = if self.slots[s].fifo.is_empty() {
+                &mut self.slots[s]
+            } else if let Some(i) = self.overflow.iter().position(|q| q.fifo.is_empty()) {
+                &mut self.overflow[i]
+            } else {
+                self.overflow.push(TagQueue::default());
+                self.overflow.last_mut().unwrap()
+            };
+            claimed.tag = tag;
+            claimed.fifo.push_back(val);
+        }
+
+        fn take(&mut self, tag: u64) -> Option<u64> {
+            let s = slot_of(tag);
+            if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
+                return self.slots[s].fifo.pop_front();
+            }
+            self.overflow
+                .iter_mut()
+                .find(|q| !q.fifo.is_empty() && q.tag == tag)
+                .and_then(|q| q.fifo.pop_front())
+        }
+    }
+
     struct Mailbox {
-        queue: Mutex<VecDeque<(usize, u64)>>,
+        inner: Mutex<SrcState>,
         signal: Condvar,
     }
 
     #[test]
-    fn send_recv_handshake_has_no_lost_wakeups() {
+    fn bucketed_handshake_has_no_lost_wakeups() {
         loom::model(|| {
             let mb = Arc::new(Mailbox {
-                queue: Mutex::new(VecDeque::new()),
+                inner: Mutex::new(SrcState::default()),
                 signal: Condvar::new(),
             });
             let producer = {
                 let mb = Arc::clone(&mb);
                 thread::spawn(move || {
-                    for tag in [7u64, 9u64] {
-                        let mut q = mb.queue.lock().unwrap();
-                        q.push_back((0, tag));
-                        drop(q);
-                        mb.signal.notify_all();
+                    // Tags 7 and 9 both hash to slot 1 (mod 2): the second
+                    // push must claim a fresh queue, the third must find
+                    // the live tag-7 queue again.
+                    for (tag, val) in [(7u64, 10u64), (9, 20), (7, 11)] {
+                        let mut inner = mb.inner.lock().unwrap();
+                        inner.push(tag, val);
+                        drop(inner);
+                        mb.signal.notify_one();
                     }
                 })
             };
-            // Consumer waits for tag 9 first (selective), then tag 7.
-            for want in [9u64, 7u64] {
-                let mut q = mb.queue.lock().unwrap();
+            // Single consumer (the invariant behind notify_one): selective
+            // receive of tag 9 first, then the tag-7 stream in FIFO order.
+            for (want, expect) in [(9u64, 20u64), (7, 10), (7, 11)] {
+                let mut inner = mb.inner.lock().unwrap();
                 loop {
-                    if let Some(pos) = q.iter().position(|&(_, t)| t == want) {
-                        q.remove(pos);
+                    if let Some(v) = inner.take(want) {
+                        assert_eq!(v, expect, "per-tag FIFO broken");
                         break;
                     }
-                    q = mb.signal.wait(q).unwrap();
+                    inner = mb.signal.wait(inner).unwrap();
                 }
             }
             producer.join().unwrap();

@@ -34,6 +34,20 @@ impl ClusterMap {
         }
     }
 
+    /// Grows the table so at least `max_degree` distinct clusters fit at
+    /// ≤ 50 % load. The map must be empty (entries would need rehashing);
+    /// callers reuse one map across graphs and regrow at graph boundaries.
+    pub fn ensure_degree(&mut self, max_degree: usize) {
+        assert!(self.used.is_empty(), "ensure_degree on a non-empty map");
+        let cap = (max_degree.max(4) * 2).next_power_of_two();
+        if cap <= self.keys.len() {
+            return;
+        }
+        self.keys = vec![EMPTY; cap];
+        self.vals = vec![0; cap];
+        self.mask = cap - 1;
+    }
+
     /// Removes all entries (O(#entries), not O(capacity)).
     #[inline]
     pub fn clear(&mut self) {

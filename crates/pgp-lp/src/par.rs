@@ -13,30 +13,116 @@
 //!   slightly, which the paper explicitly tolerates.
 //! * **Refinement**: only `k` blocks, so exact global weights are restored
 //!   with one `allreduce` per computation phase (ParMetis-style); between
-//!   allreduces each PE sees `exact + own local deltas`. To *guarantee* the
-//!   balance constraint (the paper reports ParMetis drifting to 6 %
-//!   imbalance; ParHIP does not), each PE additionally limits the weight it
-//!   moves into any block per phase to its `1/p` share of the block's
-//!   remaining slack.
+//!   allreduces each PE sees `exact + own local deltas`. The allreduce
+//!   carries the per-phase *delta* vector, not a recount of all local
+//!   nodes — `exact + Σ deltas` is maintained incrementally and checked
+//!   against a full recount under `debug_assertions` (and by the
+//!   `pgp-check` claimed-weights validator). To *guarantee* the balance
+//!   constraint (the paper reports ParMetis drifting to 6 % imbalance;
+//!   ParHIP does not), each PE additionally limits the weight it moves into
+//!   any block per phase to its `1/p` share of the block's remaining slack.
+//!
+//! Both modes draw their visit order and neighbour-aggregation map from a
+//! [`SclpScratch`], which caches the degree order per graph so repeated
+//! invocations on the same graph (V-cycles, multiple refinement levels)
+//! skip the O(n log n) re-sort and all per-call allocations.
 
 use crate::cluster_map::ClusterMap;
 use crate::seq::SclpStats;
-use pgp_dmp::collectives::{allreduce_sum, allreduce_sum_vec};
+use pgp_dmp::collectives::{allreduce_sum, allreduce_sum_vec, allreduce_sum_vec_i64};
 use pgp_dmp::{Comm, DistGraph, LabelExchange};
 use pgp_graph::ids;
 use pgp_graph::{Node, Weight};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
-/// Degree-increasing order of the PE's local nodes (the parallel analogue
-/// of the paper's degree ordering: "considering only the local nodes").
-fn local_degree_order(graph: &DistGraph) -> Vec<Node> {
-    let n = graph.n_local();
-    let mut order: Vec<Node> = (0..ids::node_of_index(n)).collect();
-    order.sort_by_key(|&v| graph.degree(v));
-    order
+/// Reusable SCLP working memory: visit orders and the neighbour-cluster
+/// aggregation map, cached per graph.
+///
+/// The degree order and map capacity only depend on the graph, so one
+/// scratch threaded through a whole V-cycle run recomputes them once per
+/// distinct level instead of once per SCLP call ([`prepare`](Self) is a
+/// fingerprint-guarded no-op when the graph is unchanged).
+pub struct SclpScratch {
+    /// Fingerprint of the graph the cached fields belong to.
+    fingerprint: Option<u64>,
+    /// Local nodes in degree-increasing order (cluster-mode visit order).
+    degree_order: Vec<Node>,
+    /// Maximum local degree (sizes `map`).
+    max_degree: usize,
+    /// Refine-mode shuffle buffer (reset to identity at each call).
+    index_order: Vec<Node>,
+    /// Neighbour-cluster aggregation map, regrown at graph boundaries.
+    map: ClusterMap,
+}
+
+impl SclpScratch {
+    /// Creates an empty scratch; the first SCLP call fills it.
+    pub fn new() -> Self {
+        Self {
+            fingerprint: None,
+            degree_order: Vec::new(),
+            max_degree: 0,
+            index_order: Vec::new(),
+            map: ClusterMap::with_max_degree(1),
+        }
+    }
+
+    /// Points the scratch at `graph`: recomputes the degree order and
+    /// regrows the map when the graph changed since the last call; a
+    /// fingerprint-guarded no-op when it did not (the same finest graph
+    /// recurs once per V-cycle).
+    fn prepare(&mut self, graph: &DistGraph) {
+        let fp = fingerprint(graph);
+        if self.fingerprint == Some(fp) {
+            return;
+        }
+        self.fingerprint = Some(fp);
+        self.degree_order.clear();
+        self.degree_order
+            .extend(0..ids::node_of_index(graph.n_local()));
+        self.degree_order.sort_by_key(|&v| graph.degree(v));
+        self.max_degree = self
+            .degree_order
+            .last()
+            .map(|&v| graph.degree(v))
+            .unwrap_or(0);
+        self.map.clear();
+        self.map.ensure_degree(self.max_degree.max(1));
+    }
+}
+
+impl Default for SclpScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Identifies a [`DistGraph`] by exactly the inputs the cached degree order
+/// consumes: the local CSR offset array (the degree sequence) plus the
+/// distribution coordinates. A collision could only perturb the visit
+/// order, never correctness, and is vanishingly unlikely.
+fn fingerprint(graph: &DistGraph) -> u64 {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    h.write_u64(ids::count_global(graph.n_local()));
+    h.write_u64(ids::count_global(graph.n_ghost()));
+    h.write_u64(graph.n_global());
+    h.write_u64(graph.first_global());
+    for &x in graph.xadj_raw() {
+        h.write_u64(x);
+    }
+    h.finish()
+}
+
+/// Applies a signed allreduced weight delta to the exact block weights.
+fn apply_weight_delta(exact: &mut [u64], delta: &[i64]) {
+    for (w, &d) in exact.iter_mut().zip(delta) {
+        let next = i64::try_from(*w).expect("block weight fits in i64") + d;
+        *w = u64::try_from(next).expect("block weight stays non-negative");
+    }
 }
 
 /// Initial clustering labels: every node (owned and ghost) starts in its
@@ -52,7 +138,9 @@ pub fn singleton_labels(graph: &DistGraph) -> Vec<Node> {
 /// when given (V-cycles), also covers owned + ghost nodes and holds the
 /// input-partition block of each node; clusters never straddle blocks.
 ///
-/// Returns statistics; `labels` is updated in place.
+/// Returns statistics; `labels` is updated in place. Allocates fresh
+/// working memory — callers with repeated invocations should use
+/// [`parallel_sclp_cluster_with_scratch`].
 pub fn parallel_sclp_cluster(
     comm: &Comm,
     graph: &DistGraph,
@@ -61,6 +149,33 @@ pub fn parallel_sclp_cluster(
     seed: u64,
     labels: &mut [Node],
     constraint: Option<&[Node]>,
+) -> SclpStats {
+    let mut scratch = SclpScratch::new();
+    parallel_sclp_cluster_with_scratch(
+        comm,
+        graph,
+        u_bound,
+        iterations,
+        seed,
+        labels,
+        constraint,
+        &mut scratch,
+    )
+}
+
+/// As [`parallel_sclp_cluster`], drawing visit order and aggregation map
+/// from `scratch` (recomputed only when `graph` differs from the scratch's
+/// last graph).
+#[allow(clippy::too_many_arguments)] // the scratch-threading variant of an already-wide API
+pub fn parallel_sclp_cluster_with_scratch(
+    comm: &Comm,
+    graph: &DistGraph,
+    u_bound: Weight,
+    iterations: usize,
+    seed: u64,
+    labels: &mut [Node],
+    constraint: Option<&[Node]>,
+    scratch: &mut SclpScratch,
 ) -> SclpStats {
     let n_local = graph.n_local();
     let n_all = n_local + graph.n_ghost();
@@ -71,21 +186,26 @@ pub fn parallel_sclp_cluster(
     let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, ids::count_global(comm.rank())));
 
     // Localized cluster weights: exact at init because every cluster the PE
-    // can see is composed of nodes the PE can see (singletons).
-    let mut weights: HashMap<Node, i64> = HashMap::with_capacity(n_all);
+    // can see is composed of nodes the PE can see (singletons). Sized once;
+    // FxHash because keys are node IDs, not attacker-controlled input.
+    let mut weights: FxHashMap<Node, i64> =
+        FxHashMap::with_capacity_and_hasher(n_all, Default::default());
     for l in 0..ids::node_of_index(n_all) {
         *weights.entry(labels[ids::node_index(l)]).or_insert(0) += graph.node_weight(l) as i64;
     }
 
     let mut exchange = LabelExchange::new(comm, graph);
-    let order = local_degree_order(graph);
-    let max_deg = order.last().map(|&v| graph.degree(v)).unwrap_or(0);
-    let mut map = ClusterMap::with_max_degree(max_deg.max(1));
+    scratch.prepare(graph);
+    let SclpScratch {
+        degree_order: order,
+        map,
+        ..
+    } = scratch;
 
     let mut stats = SclpStats::default();
     for _round in 0..iterations {
         let mut moved = 0u64;
-        for &v in &order {
+        for &v in order.iter() {
             if graph.degree(v) == 0 {
                 continue;
             }
@@ -163,8 +283,11 @@ pub fn parallel_sclp_cluster(
 
 /// Parallel SCLP in **refine mode** over a `k`-way partition. `blocks`
 /// covers owned + ghost nodes and holds block IDs (< `k`). Exact global
-/// block weights are restored by one allreduce per phase; per-phase inflow
-/// budgeting guarantees `Lmax` is never exceeded.
+/// block weights are maintained incrementally (one delta allreduce per
+/// phase); per-phase inflow budgeting guarantees `Lmax` is never exceeded.
+///
+/// Allocates fresh working memory — callers with repeated invocations
+/// should use [`parallel_sclp_refine_with_scratch`].
 pub fn parallel_sclp_refine(
     comm: &Comm,
     graph: &DistGraph,
@@ -174,13 +297,30 @@ pub fn parallel_sclp_refine(
     seed: u64,
     blocks: &mut [Node],
 ) -> SclpStats {
+    let mut scratch = SclpScratch::new();
+    parallel_sclp_refine_with_scratch(comm, graph, k, lmax, iterations, seed, blocks, &mut scratch)
+}
+
+/// As [`parallel_sclp_refine`], drawing working memory from `scratch`.
+#[allow(clippy::too_many_arguments)] // the scratch-threading variant of an already-wide API
+pub fn parallel_sclp_refine_with_scratch(
+    comm: &Comm,
+    graph: &DistGraph,
+    k: usize,
+    lmax: Weight,
+    iterations: usize,
+    seed: u64,
+    blocks: &mut [Node],
+    scratch: &mut SclpScratch,
+) -> SclpStats {
     let n_local = graph.n_local();
     let n_all = n_local + graph.n_ghost();
     assert_eq!(blocks.len(), n_all, "blocks must cover owned + ghost nodes");
     let p: Weight = ids::count_global(comm.size());
     let mut rng = SmallRng::seed_from_u64(pgp_dmp::mix_seed(seed, ids::count_global(comm.rank())));
 
-    // Exact global block weights: local contribution + allreduce.
+    // Exact global block weights: full recount once at entry; afterwards
+    // only the per-phase deltas are allreduced (see module docs).
     let local_contrib = |blocks: &[Node]| -> Vec<u64> {
         let mut c = vec![0u64; k];
         for v in 0..ids::node_of_index(n_local) {
@@ -191,12 +331,20 @@ pub fn parallel_sclp_refine(
     let mut exact: Vec<u64> = allreduce_sum_vec(comm, local_contrib(blocks));
 
     let mut exchange = LabelExchange::new(comm, graph);
-    let max_deg = (0..ids::node_of_index(n_local))
-        .map(|v| graph.degree(v))
-        .max()
-        .unwrap_or(0);
-    let mut map = ClusterMap::with_max_degree(max_deg.max(1));
-    let mut order: Vec<Node> = (0..ids::node_of_index(n_local)).collect();
+    scratch.prepare(graph);
+    let SclpScratch {
+        index_order: order,
+        map,
+        ..
+    } = scratch;
+    // Identity order at entry; within a call the shuffles compound.
+    order.clear();
+    order.extend(0..ids::node_of_index(n_local));
+
+    // Per-round working vectors, hoisted out of the loop and refilled.
+    let mut budget: Vec<i64> = vec![0; k];
+    let mut view: Vec<i64> = vec![0; k];
+    let mut delta: Vec<i64> = vec![0; k];
 
     let mut stats = SclpStats::default();
     for round in 0..iterations {
@@ -204,23 +352,20 @@ pub fn parallel_sclp_refine(
         // Per-phase inflow budget: the block's remaining slack is split
         // across PEs (floor share + round-robin remainder, rotated per block
         // and round so small slacks still make progress somewhere), so the
-        // per-PE inflows can never jointly exceed Lmax.
+        // per-PE inflows can never jointly exceed Lmax. `view` is the PE's
+        // live estimate (exact + its own deltas).
         let r = ids::count_global(comm.rank());
-        let mut budget: Vec<i64> = exact
-            .iter()
-            .enumerate()
-            .map(|(b, &w)| {
-                let slack = lmax.saturating_sub(w);
-                let base = slack / p;
-                let rotation = r + ids::count_global(b) + ids::count_global(round);
-                let extra = u64::from(rotation % p < slack % p);
-                (base + extra) as i64
-            })
-            .collect();
-        // The PE's live view of weights: exact + its own deltas.
-        let mut view: Vec<i64> = exact.iter().map(|&w| w as i64).collect();
+        for (b, &w) in exact.iter().enumerate() {
+            let slack = lmax.saturating_sub(w);
+            let base = slack / p;
+            let rotation = r + ids::count_global(b) + ids::count_global(round);
+            let extra = u64::from(rotation % p < slack % p);
+            budget[b] = (base + extra) as i64;
+            view[b] = w as i64;
+            delta[b] = 0;
+        }
         let mut moved = 0u64;
-        for &v in &order {
+        for &v in order.iter() {
             if graph.degree(v) == 0 {
                 continue;
             }
@@ -256,6 +401,8 @@ pub fn parallel_sclp_refine(
                 view[ids::node_index(cur)] -= cw;
                 view[ids::node_index(best)] += cw;
                 budget[ids::node_index(best)] -= cw;
+                delta[ids::node_index(cur)] -= cw;
+                delta[ids::node_index(best)] += cw;
                 blocks[ids::node_index(v)] = best;
                 exchange.record(graph, v, best);
                 moved += 1;
@@ -263,10 +410,18 @@ pub fn parallel_sclp_refine(
         }
         stats.rounds += 1;
         stats.moves += moved;
-        // Phase end: exact ghost labels, then exact weights (one allreduce
-        // each, as in §IV-B).
+        // Phase end: exact ghost labels, then exact weights via one delta
+        // allreduce (own moves are counted by the owner, so the summed
+        // deltas cover every node exactly once).
         exchange.flush_sync(comm, graph, blocks);
-        exact = allreduce_sum_vec(comm, local_contrib(blocks));
+        let global_delta = allreduce_sum_vec_i64(comm, std::mem::take(&mut delta));
+        apply_weight_delta(&mut exact, &global_delta);
+        delta = global_delta;
+        #[cfg(debug_assertions)]
+        {
+            let recount = allreduce_sum_vec(comm, local_contrib(blocks));
+            assert_eq!(exact, recount, "incremental block weights drifted");
+        }
         let global_moves = allreduce_sum(comm, moved);
         if global_moves == 0 {
             break;
@@ -283,17 +438,14 @@ pub fn parallel_sclp_refine(
             break;
         }
         let r = ids::count_global(comm.rank());
-        let mut budget: Vec<i64> = exact
-            .iter()
-            .enumerate()
-            .map(|(b, &w)| {
-                let slack = lmax.saturating_sub(w);
-                let base = slack / p;
-                let extra = u64::from((r + ids::count_global(b) + round) % p < slack % p);
-                (base + extra) as i64
-            })
-            .collect();
-        let mut view: Vec<i64> = exact.iter().map(|&w| w as i64).collect();
+        for (b, &w) in exact.iter().enumerate() {
+            let slack = lmax.saturating_sub(w);
+            let base = slack / p;
+            let extra = u64::from((r + ids::count_global(b) + round) % p < slack % p);
+            budget[b] = (base + extra) as i64;
+            view[b] = w as i64;
+            delta[b] = 0;
+        }
         let mut moved = 0u64;
         for v in 0..ids::node_of_index(n_local) {
             let cur = blocks[ids::node_index(v)];
@@ -322,6 +474,8 @@ pub fn parallel_sclp_refine(
                 view[ids::node_index(cur)] -= cw;
                 view[ids::node_index(b)] += cw;
                 budget[ids::node_index(b)] -= cw;
+                delta[ids::node_index(cur)] -= cw;
+                delta[ids::node_index(b)] += cw;
                 blocks[ids::node_index(v)] = b;
                 exchange.record(graph, v, b);
                 moved += 1;
@@ -329,7 +483,14 @@ pub fn parallel_sclp_refine(
         }
         stats.moves += moved;
         exchange.flush_sync(comm, graph, blocks);
-        exact = allreduce_sum_vec(comm, local_contrib(blocks));
+        let global_delta = allreduce_sum_vec_i64(comm, std::mem::take(&mut delta));
+        apply_weight_delta(&mut exact, &global_delta);
+        delta = global_delta;
+        #[cfg(debug_assertions)]
+        {
+            let recount = allreduce_sum_vec(comm, local_contrib(blocks));
+            assert_eq!(exact, recount, "incremental block weights drifted");
+        }
         if allreduce_sum(comm, moved) == 0 {
             break;
         }
@@ -342,6 +503,7 @@ mod tests {
     use super::*;
     use pgp_dmp::run;
     use pgp_graph::CsrGraph;
+    use std::collections::HashMap;
 
     fn cluster_weights_global(
         g: &CsrGraph,
@@ -442,6 +604,56 @@ mod tests {
         assert_eq!(a[0].len(), 100);
         let distinct: std::collections::HashSet<_> = a[0].iter().collect();
         assert!(distinct.len() < 50);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh() {
+        // Reusing one scratch across calls (and across modes) must produce
+        // bit-identical results to fresh per-call working memory.
+        let g = pgp_gen::ba::barabasi_albert(300, 3, 4);
+        let k = 2usize;
+        let lmax = pgp_graph::lmax(g.total_node_weight(), k, 0.03);
+        let go = |reuse: bool| {
+            run(2, |comm| {
+                let dg = DistGraph::from_global(comm, &g);
+                let mut scratch = SclpScratch::new();
+                let mut out = Vec::new();
+                for pass in 0..2u64 {
+                    let mut labels = singleton_labels(&dg);
+                    let mut blocks: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+                        .map(|l| dg.local_to_global(l) % k as Node)
+                        .collect();
+                    if reuse {
+                        parallel_sclp_cluster_with_scratch(
+                            comm,
+                            &dg,
+                            40,
+                            4,
+                            9 + pass,
+                            &mut labels,
+                            None,
+                            &mut scratch,
+                        );
+                        parallel_sclp_refine_with_scratch(
+                            comm,
+                            &dg,
+                            k,
+                            lmax,
+                            4,
+                            9 + pass,
+                            &mut blocks,
+                            &mut scratch,
+                        );
+                    } else {
+                        parallel_sclp_cluster(comm, &dg, 40, 4, 9 + pass, &mut labels, None);
+                        parallel_sclp_refine(comm, &dg, k, lmax, 4, 9 + pass, &mut blocks);
+                    }
+                    out.push((labels, blocks));
+                }
+                out
+            })
+        };
+        assert_eq!(go(true), go(false));
     }
 
     #[test]

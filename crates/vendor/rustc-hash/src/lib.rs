@@ -1,0 +1,129 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Implements the FxHash function (the multiply-rotate hash used throughout
+//! the Rust compiler) with the crate's public surface the workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] / [`FxHashSet`]
+//! aliases. FxHash is not DoS-resistant; it trades that for a few cycles
+//! per lookup, which is the right trade for graph-internal integer keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher: `hash = (rotl5(hash) ^ word) * SEED` per
+/// machine word.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, u64::from(i) * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&i), Some(&(u64::from(i) * 3)));
+        }
+        assert_eq!(m.get(&1000), None);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let s: FxHashSet<u32> = [1, 2, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |v: u64| {
+            let mut hh = FxHasher::default();
+            hh.write_u64(v);
+            hh.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Consecutive keys must not collide in the low bits (table index).
+        let mask = 0xFFF;
+        let lows: std::collections::HashSet<u64> = (0..100).map(|v| h(v) & mask).collect();
+        assert!(lows.len() > 90, "low-bit collisions: {}", 100 - lows.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_word_boundaries() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_ne_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -19,6 +19,11 @@
 //!    arithmetic in one audited place.
 //! 4. **lints-opt-in** — every workspace crate manifest must contain
 //!    `[lints] workspace = true` so the workspace lint gate applies.
+//! 5. **mailbox-internals** — the bucketed-mailbox types (`MailboxInner`,
+//!    `SrcState`, `TagQueue`, `Payload`) may only be named in
+//!    `crates/pgp-dmp/src/comm.rs`. The single-consumer invariant that
+//!    makes `notify_one` and the per-(src, tag) FIFO guarantee sound is
+//!    local to that file; code elsewhere must stay behind the `Comm` API.
 //!
 //! The scanner is line-based with comment/string stripping and skips
 //! `#[cfg(test)]` modules (test code may take shortcuts). It is
@@ -56,6 +61,13 @@ const CSR_OWNER_FILES: &[&str] = &[
 
 /// CSR array names whose direct indexing is restricted (rule 3).
 const CSR_ARRAYS: &[&str] = &["xadj[", "adjncy[", "adjwgt["];
+
+/// The only file allowed to name the mailbox-internal types (rule 5).
+const MAILBOX_OWNER_FILE: &str = "crates/pgp-dmp/src/comm.rs";
+
+/// Mailbox-internal type names restricted to [`MAILBOX_OWNER_FILE`]
+/// (rule 5).
+const MAILBOX_INTERNALS: &[&str] = &["MailboxInner", "SrcState", "TagQueue", "Payload"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -164,7 +176,8 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
     let id_domain = ID_DOMAIN_FILES.contains(&rel);
     let comm_layer = rel.starts_with("crates/pgp-dmp/src/");
     let csr_restricted = !CSR_OWNER_FILES.contains(&rel);
-    let is_test_file = rel.starts_with("tests/");
+    let mailbox_restricted = rel != MAILBOX_OWNER_FILE;
+    let is_test_file = rel.starts_with("tests/") || rel.contains("/tests/");
 
     let mut depth: i32 = 0;
     let mut in_block_comment = false;
@@ -206,6 +219,7 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
                 id_domain,
                 comm_layer,
                 csr_restricted,
+                mailbox_restricted,
                 violations,
             );
         }
@@ -229,6 +243,7 @@ fn apply_rules(
     id_domain: bool,
     comm_layer: bool,
     csr_restricted: bool,
+    mailbox_restricted: bool,
     violations: &mut Vec<Violation>,
 ) {
     // Rule 1: id-cast.
@@ -281,6 +296,48 @@ fn apply_rules(
             }
         }
     }
+
+    // Rule 5: mailbox internals outside comm.rs.
+    if mailbox_restricted {
+        for name in MAILBOX_INTERNALS {
+            if let Some(pos) = find_word(code, name) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "mailbox-internals",
+                    message: format!(
+                        "mailbox-internal type `{name}` named outside {MAILBOX_OWNER_FILE} \
+                         (col {pos}); go through the Comm API instead"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Finds `word` as a complete identifier token (boundaries on both sides);
+/// returns the column, or `None`.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let abs = from + pos;
+        let before_ok = abs == 0
+            || code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        let after = abs + word.len();
+        let after_ok = code[after..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        from = after;
+    }
+    None
 }
 
 /// Finds ` as <target>` where `<target>` is a complete token; returns the
