@@ -44,6 +44,8 @@ pub use coarsen::{parallel_coarsen, ParHierarchy, ParLevel};
 pub use config::{GraphClass, ParhipConfig, Preset};
 pub use contract::{parallel_contract, parallel_project_blocks, ParContraction};
 pub use partitioner::{
-    parhip_distributed, parhip_distributed_with_input, partition_parallel,
-    partition_parallel_with_input, ParhipStats,
+    parhip_distributed, parhip_distributed_checkpointed, parhip_distributed_resume,
+    parhip_distributed_with_input, partition_parallel, partition_parallel_resume,
+    partition_parallel_with_input, partition_parallel_with_store, CheckpointStore, LevelSummary,
+    ParhipStats, VCycleCheckpoint,
 };

@@ -6,10 +6,22 @@
 //! first cycle) → the best solution is broadcast and carried up by the
 //! parallel uncoarsening, with `r` iterations of parallel SCLP refinement
 //! per level.
+//!
+//! # Checkpoint/restart (DESIGN.md §9)
+//!
+//! The only state a V-cycle carries into the next one is the block
+//! assignment — every seed is derived from the *absolute* cycle index, so
+//! replaying cycles `c+1..` from cycle `c`'s assignment is bit-identical
+//! to a run that never stopped. [`parhip_distributed_checkpointed`] saves
+//! a [`VCycleCheckpoint`] into a [`CheckpointStore`] at each V-cycle
+//! boundary (assignment, the cycle's replicated coarsest graph + its
+//! initial partition, the composite fine→coarsest map, level shapes, and
+//! graph/config fingerprints); [`parhip_distributed_resume`] verifies the
+//! fingerprints and replays the remaining cycles.
 
 use crate::coarsen::{parallel_coarsen_with_scratch, ParHierarchy};
 use crate::config::ParhipConfig;
-use crate::contract::parallel_project_blocks;
+use crate::contract::{parallel_project_blocks, query_owner_values};
 use pgp_dmp::collectives::allgatherv;
 use pgp_dmp::{Comm, DistGraph};
 use pgp_evo::{Budget, EvoConfig};
@@ -38,6 +50,118 @@ pub struct ParhipStats {
     pub cut: u64,
 }
 
+/// Shape of one hierarchy level captured in a [`VCycleCheckpoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelSummary {
+    /// Global node count of the level.
+    pub n_global: u64,
+    /// Global edge count of the level.
+    pub m_global: u64,
+}
+
+/// A V-cycle boundary snapshot: everything needed to replay the remaining
+/// cycles bit-identically, plus the cycle's coarse state for inspection
+/// and validation (`pgp_check::validate_checkpoint`).
+#[derive(Clone, Debug)]
+pub struct VCycleCheckpoint {
+    /// The completed V-cycle this snapshot was taken after (0-based).
+    pub cycle: usize,
+    /// Block count of the run.
+    pub k: usize,
+    /// Global block assignment after the cycle (indexed by global node ID).
+    pub assignment: Vec<Node>,
+    /// The cycle's replicated coarsest graph.
+    pub coarsest: CsrGraph,
+    /// The evolutionary initial partition of `coarsest` (before
+    /// uncoarsening refinement).
+    pub coarsest_assignment: Vec<Node>,
+    /// Composite fine→coarsest map: global fine node ID → global coarsest
+    /// node ID (the chain of per-level cluster mappings, collapsed).
+    pub fine_to_coarsest: Vec<Node>,
+    /// Shape of every hierarchy level, finest first.
+    pub levels: Vec<LevelSummary>,
+    /// Group-wide graph fingerprint (see [`DistGraph::fingerprint_local`]).
+    pub graph_fingerprint: u64,
+    /// [`ParhipConfig::fingerprint`] of the run's configuration.
+    pub config_fingerprint: u64,
+}
+
+/// In-memory store holding the latest [`VCycleCheckpoint`] of a run.
+/// Shared between the driver and the PE group (rank 0 writes it at each
+/// V-cycle boundary); after a faulted run, hand it to
+/// [`parhip_distributed_resume`] / [`partition_parallel_resume`].
+#[derive(Default)]
+pub struct CheckpointStore {
+    latest: std::sync::Mutex<Option<VCycleCheckpoint>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the stored checkpoint (later cycles win).
+    pub fn save(&self, cp: VCycleCheckpoint) {
+        // A panicking writer cannot leave a half-written checkpoint: the
+        // value is moved in whole, so poisoning is safe to swallow.
+        let mut slot = self.latest.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(cp);
+    }
+
+    /// The latest checkpoint, if any.
+    pub fn latest(&self) -> Option<VCycleCheckpoint> {
+        self.latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The cycle index of the latest checkpoint, if any.
+    pub fn latest_cycle(&self) -> Option<usize> {
+        self.latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|cp| cp.cycle)
+    }
+}
+
+/// Group-wide graph identity: every PE's local fingerprint bound to its
+/// rank, combined with a wrapping-sum allreduce (commutative, so the
+/// reduction tree's shape cannot matter). Identical graph + identical PE
+/// count ⇔ identical value on every PE.
+fn group_graph_fingerprint(comm: &Comm, graph: &DistGraph) -> u64 {
+    let local = pgp_dmp::mix_seed(
+        graph.fingerprint_local(),
+        ids::count_global(comm.rank()).wrapping_add(1),
+    );
+    pgp_dmp::collectives::allreduce(comm, local, |a, b| a.wrapping_add(b))
+}
+
+/// Collapses the hierarchy's per-level cluster mappings into one map from
+/// this PE's owned *finest* nodes to global *coarsest* node IDs. Each step
+/// resolves the current coarse IDs through their owners' next-level
+/// mapping (an alltoallv round trip via [`query_owner_values`]).
+fn compose_to_coarsest(comm: &Comm, hierarchy: &ParHierarchy) -> Vec<Node> {
+    let depth = hierarchy.depth();
+    let finest = &hierarchy.levels[0].graph;
+    if depth == 1 {
+        return (0..finest.n_local())
+            .map(|l| finest.local_to_global(ids::node_of_index(l)))
+            .collect();
+    }
+    // Level mappings cover owned + ghost nodes; the composite map covers
+    // owned finest nodes only (it is allgathered into global node order).
+    let mut cur: Vec<Node> = hierarchy.levels[0].mapping[..finest.n_local()].to_vec();
+    for li in 1..depth - 1 {
+        let level_graph = &hierarchy.levels[li].graph;
+        let mapping = &hierarchy.levels[li].mapping;
+        cur = query_owner_values(comm, level_graph.dist(), &cur, |idx| mapping[idx]);
+    }
+    cur
+}
+
 /// Runs the full system on an already-distributed graph; returns this PE's
 /// local block assignment (owned nodes) plus stats.
 pub fn parhip_distributed(
@@ -61,6 +185,79 @@ pub fn parhip_distributed_with_input(
     cfg: &ParhipConfig,
     input: Option<&[Node]>,
 ) -> (Vec<Node>, ParhipStats) {
+    parhip_cycles(comm, graph, cfg, input, 0, None)
+}
+
+/// As [`parhip_distributed_with_input`], additionally saving a
+/// [`VCycleCheckpoint`] into `store` at every V-cycle boundary (rank 0
+/// writes; the snapshot itself is assembled collectively). If the run is
+/// later lost to a fault, [`parhip_distributed_resume`] replays the
+/// remaining cycles from the last snapshot with bit-identical output.
+pub fn parhip_distributed_checkpointed(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+    input: Option<&[Node]>,
+    store: &CheckpointStore,
+) -> (Vec<Node>, ParhipStats) {
+    parhip_cycles(comm, graph, cfg, input, 0, Some(store))
+}
+
+/// Resumes a run from `checkpoint`: verifies the graph and config
+/// fingerprints, rebuilds this PE's owned + ghost assignment from the
+/// snapshot's global assignment, and replays cycles `checkpoint.cycle + 1`
+/// onward. Because every cycle's seeds derive from the absolute cycle
+/// index, the result is bit-identical to the uninterrupted run.
+///
+/// # Panics
+/// Panics if the checkpoint was taken on a different graph, PE count, or
+/// configuration (fingerprint mismatch) — resuming would silently produce
+/// a different partition, which is worse than failing loudly.
+pub fn parhip_distributed_resume(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+    checkpoint: &VCycleCheckpoint,
+    store: Option<&CheckpointStore>,
+) -> (Vec<Node>, ParhipStats) {
+    assert_eq!(
+        checkpoint.graph_fingerprint,
+        group_graph_fingerprint(comm, graph),
+        "checkpoint/graph mismatch: snapshot of cycle {} was taken on a different graph or PE count",
+        checkpoint.cycle
+    );
+    assert_eq!(
+        checkpoint.config_fingerprint,
+        cfg.fingerprint(),
+        "checkpoint/config mismatch: snapshot of cycle {} was taken under a different configuration",
+        checkpoint.cycle
+    );
+    assert_eq!(
+        ids::count_global(checkpoint.assignment.len()),
+        graph.n_global(),
+        "checkpoint assignment must cover every global node"
+    );
+    let n_all = graph.n_local() + graph.n_ghost();
+    let blocks: Vec<Node> = (0..n_all)
+        .map(|l| {
+            let g = graph.local_to_global(ids::node_of_index(l));
+            checkpoint.assignment[ids::node_index(g)]
+        })
+        .collect();
+    parhip_cycles(comm, graph, cfg, Some(&blocks), checkpoint.cycle + 1, store)
+}
+
+/// The shared V-cycle engine: runs cycles `start_cycle..cfg.vcycles` from
+/// an optional carried-in assignment, optionally checkpointing each cycle
+/// boundary into `store`. All public entry points funnel here.
+fn parhip_cycles(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+    input: Option<&[Node]>,
+    start_cycle: usize,
+    store: Option<&CheckpointStore>,
+) -> (Vec<Node>, ParhipStats) {
     let mut stats = ParhipStats::default();
     let n_all = graph.n_local() + graph.n_ghost();
     // blocks: owned + ghost, maintained across cycles.
@@ -72,6 +269,10 @@ pub fn parhip_distributed_with_input(
         );
         b.to_vec()
     });
+    assert!(
+        start_cycle == 0 || blocks.is_some(),
+        "resuming past cycle 0 requires a carried-in assignment"
+    );
     #[cfg(feature = "validate")]
     crate::validate::assert_graph_valid(comm, graph, "parhip input graph");
 
@@ -79,7 +280,7 @@ pub fn parhip_distributed_with_input(
     // cycle, so its degree order is computed once and reused.
     let mut scratch = SclpScratch::new();
 
-    for cycle in 0..cfg.vcycles.max(1) {
+    for cycle in start_cycle..cfg.vcycles.max(1) {
         // ---- Parallel coarsening -------------------------------------
         let t0 = Instant::now();
         let hierarchy = parallel_coarsen_with_scratch(
@@ -189,6 +390,37 @@ pub fn parhip_distributed_with_input(
         #[cfg(feature = "validate")]
         crate::validate::assert_partition_valid(comm, graph, &full, cfg.k, "end of V-cycle");
         blocks = Some(full);
+
+        // ---- V-cycle boundary checkpoint -------------------------------
+        if let Some(store) = store {
+            let assignment = allgatherv(comm, level_blocks.clone());
+            let fine_to_coarsest = allgatherv(comm, compose_to_coarsest(comm, &hierarchy));
+            let checkpoint = VCycleCheckpoint {
+                cycle,
+                k: cfg.k,
+                assignment,
+                coarsest: coarsest_global.clone(),
+                coarsest_assignment: coarse_partition.assignment().to_vec(),
+                fine_to_coarsest,
+                levels: hierarchy
+                    .levels
+                    .iter()
+                    .map(|lv| LevelSummary {
+                        n_global: lv.graph.n_global(),
+                        m_global: lv.graph.m_global(),
+                    })
+                    .collect(),
+                graph_fingerprint: group_graph_fingerprint(comm, graph),
+                config_fingerprint: cfg.fingerprint(),
+            };
+            #[cfg(feature = "validate")]
+            crate::validate::assert_checkpoint_valid(comm, &checkpoint, "V-cycle checkpoint");
+            // The snapshot is assembled collectively (identical on every
+            // PE); one writer suffices for the shared store.
+            if comm.rank() == 0 {
+                store.save(checkpoint);
+            }
+        }
     }
 
     let final_blocks = blocks.expect("at least one cycle ran");
@@ -270,6 +502,56 @@ fn partition_parallel_impl(
                 .collect()
         });
         let (local, stats) = parhip_distributed_with_input(comm, &dg, cfg, local_input.as_deref());
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    (partition, stats)
+}
+
+/// As [`partition_parallel`], checkpointing every V-cycle boundary into
+/// `store`. After a faulted run (see `pgp_dmp::run_config` and the
+/// `pgp-chaos` crate), hand the same store to [`partition_parallel_resume`]
+/// to replay the remaining cycles bit-identically.
+pub fn partition_parallel_with_store(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    store: &CheckpointStore,
+) -> (Partition, ParhipStats) {
+    let results = pgp_dmp::run(p, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed_checkpointed(comm, &dg, cfg, None, store);
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    (partition, stats)
+}
+
+/// Resumes a run from the latest checkpoint in `store`, replaying the
+/// remaining V-cycles (bit-identical to the uninterrupted run — see
+/// [`parhip_distributed_resume`]).
+///
+/// # Panics
+/// Panics if the store is empty or the checkpoint does not match `graph` /
+/// `cfg` / `p` (fingerprint check).
+pub fn partition_parallel_resume(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    store: &CheckpointStore,
+) -> (Partition, ParhipStats) {
+    let checkpoint = store
+        .latest()
+        .expect("partition_parallel_resume: the checkpoint store is empty");
+    let results = pgp_dmp::run(p, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed_resume(comm, &dg, cfg, &checkpoint, Some(store));
         let all = allgatherv(comm, local);
         (all, stats)
     });
@@ -396,5 +678,91 @@ mod tests {
         assert!(stats.coarsening_s >= 0.0);
         assert!(stats.coarsest_n > 0);
         assert!(stats.levels >= 1);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_fills_store() {
+        let (g, _) = pgp_gen::sbm::sbm(600, pgp_gen::sbm::SbmParams::default(), 31);
+        let mut cfg = small_cfg(2, GraphClass::Social, 41);
+        cfg.vcycles = 3;
+        let (plain, _) = partition_parallel(&g, 2, &cfg);
+        let store = CheckpointStore::new();
+        let (stored, _) = partition_parallel_with_store(&g, 2, &cfg, &store);
+        assert_eq!(plain.assignment(), stored.assignment());
+        let cp = store.latest().expect("store must hold a snapshot");
+        assert_eq!(cp.cycle, cfg.vcycles - 1, "last V-cycle wins");
+        assert_eq!(cp.assignment, stored.assignment());
+        assert_eq!(cp.assignment.len(), g.n());
+        assert!(cp.coarsest.n() > 0);
+        assert_eq!(cp.fine_to_coarsest.len(), g.n());
+        assert!(!cp.levels.is_empty());
+        assert_eq!(cp.config_fingerprint, cfg.fingerprint());
+    }
+
+    /// Resume from the cycle-`c` snapshot must replay cycles `c+1..` to a
+    /// bit-identical final assignment: the only inter-cycle state is the
+    /// block assignment, and every seed derives from the absolute cycle
+    /// index (see the module docs). The "crashed after cycle 0" snapshot is
+    /// forged from a 1-cycle run of the same config: `vcycles` is only the
+    /// loop bound, so cycle 0 computes identical state either way; only the
+    /// config fingerprint differs, which the forgery patches.
+    #[test]
+    fn resume_replays_bit_identically() {
+        let (g, _) = pgp_gen::sbm::sbm(600, pgp_gen::sbm::SbmParams::default(), 31);
+        let mut cfg = small_cfg(2, GraphClass::Social, 43);
+        cfg.vcycles = 3;
+        let full_store = CheckpointStore::new();
+        let (full, _) = partition_parallel_with_store(&g, 2, &cfg, &full_store);
+        // The run a fault would have truncated after its first V-cycle.
+        let mut one = cfg.clone();
+        one.vcycles = 1;
+        let early_store = CheckpointStore::new();
+        let _ = partition_parallel_with_store(&g, 2, &one, &early_store);
+        let mut cycle0 = early_store.latest().expect("cycle-0 snapshot");
+        assert_eq!(cycle0.cycle, 0);
+        cycle0.config_fingerprint = cfg.fingerprint();
+        let store = CheckpointStore::new();
+        store.save(cycle0);
+        // Replays cycles 1 and 2 from the snapshot.
+        let (resumed, _) = partition_parallel_resume(&g, 2, &cfg, &store);
+        assert_eq!(full.assignment(), resumed.assignment());
+        // Resume also keeps checkpointing: the store's latest snapshot must
+        // now be the final cycle's.
+        assert_eq!(store.latest_cycle(), Some(cfg.vcycles - 1));
+    }
+
+    /// Resume from the *final* snapshot replays zero cycles and returns the
+    /// checkpointed assignment unchanged.
+    #[test]
+    fn resume_from_final_snapshot_is_a_no_op() {
+        let (g, _) = pgp_gen::sbm::sbm(500, pgp_gen::sbm::SbmParams::default(), 31);
+        let cfg = small_cfg(2, GraphClass::Social, 59);
+        let store = CheckpointStore::new();
+        let (full, _) = partition_parallel_with_store(&g, 2, &cfg, &store);
+        let (resumed, _) = partition_parallel_resume(&g, 2, &cfg, &store);
+        assert_eq!(full.assignment(), resumed.assignment());
+    }
+
+    #[test]
+    #[should_panic(expected = "different configuration")]
+    fn resume_rejects_config_mismatch() {
+        let (g, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 31);
+        let cfg = small_cfg(2, GraphClass::Social, 47);
+        let store = CheckpointStore::new();
+        let _ = partition_parallel_with_store(&g, 2, &cfg, &store);
+        let mut other = cfg;
+        other.seed = 48;
+        let _ = partition_parallel_resume(&g, 2, &other, &store);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph or PE count")]
+    fn resume_rejects_graph_mismatch() {
+        let (g, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 31);
+        let cfg = small_cfg(2, GraphClass::Social, 53);
+        let store = CheckpointStore::new();
+        let _ = partition_parallel_with_store(&g, 2, &cfg, &store);
+        let (h, _) = pgp_gen::sbm::sbm(400, pgp_gen::sbm::SbmParams::default(), 32);
+        let _ = partition_parallel_resume(&h, 2, &cfg, &store);
     }
 }

@@ -1,0 +1,190 @@
+//! Chaos suite for the comm substrate (ISSUE 3 satellite): collectives
+//! under seeded delay + cross-tag reorder must be *bit-identical* to the
+//! fault-free run, and induced hangs must fail structurally within the
+//! watchdog deadline instead of parking forever.
+
+use pgp_chaos::{chaos_run, FaultPlan};
+use pgp_dmp::collectives::{allgatherv, alltoallv, barrier};
+use pgp_dmp::{run, CommError};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+/// A multi-round alltoallv workload with rank- and round-dependent
+/// payloads: plenty of concurrent tags to reorder across.
+fn alltoallv_workload(comm: &pgp_dmp::Comm) -> Vec<Vec<u64>> {
+    let p = comm.size();
+    let mut received = Vec::new();
+    for round in 0..6u64 {
+        let sends: Vec<Vec<u64>> = (0..p)
+            .map(|dst| {
+                (0..1 + (comm.rank() + dst + round as usize) % 4)
+                    .map(|i| {
+                        round * 1_000_000
+                            + (comm.rank() as u64) * 10_000
+                            + (dst as u64) * 100
+                            + i as u64
+                    })
+                    .collect()
+            })
+            .collect();
+        received.extend(alltoallv(comm, sends));
+    }
+    received
+}
+
+/// A multi-round allgatherv workload.
+fn allgatherv_workload(comm: &pgp_dmp::Comm) -> Vec<u64> {
+    let mut out = Vec::new();
+    for round in 0..6u64 {
+        let mine: Vec<u64> = (0..1 + comm.rank() % 3)
+            .map(|i| round * 1000 + (comm.rank() as u64) * 10 + i as u64)
+            .collect();
+        out.extend(allgatherv(comm, mine));
+        barrier(comm);
+    }
+    out
+}
+
+#[test]
+fn alltoallv_bit_identical_under_delay_reorder() {
+    for p in [2, 4] {
+        let clean = run(p, alltoallv_workload);
+        for seed in [1u64, 42, 777] {
+            let plan = FaultPlan::new(seed).delay(400, 5);
+            let chaotic = chaos_run(p, plan, DEADLINE, alltoallv_workload);
+            let chaotic: Vec<_> = chaotic
+                .into_iter()
+                .map(|r| r.expect("delay injection must not fail a run"))
+                .collect();
+            assert_eq!(
+                clean, chaotic,
+                "alltoallv diverged under delay plan seed {seed}, p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn allgatherv_bit_identical_under_delay_reorder() {
+    for p in [2, 4] {
+        let clean = run(p, allgatherv_workload);
+        for seed in [3u64, 99] {
+            let plan = FaultPlan::new(seed).delay(500, 6);
+            let chaotic = chaos_run(p, plan, DEADLINE, allgatherv_workload);
+            let chaotic: Vec<_> = chaotic
+                .into_iter()
+                .map(|r| r.expect("delay injection must not fail a run"))
+                .collect();
+            assert_eq!(
+                clean, chaotic,
+                "allgatherv diverged under delay plan seed {seed}, p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn watchdog_fires_on_recv_recv_deadlock() {
+    // Classic induced deadlock: both PEs receive before either sends. The
+    // watchdog must convert the hang into structured errors on both ranks,
+    // well before the test harness' own timeout.
+    let t0 = Instant::now();
+    let results = chaos_run(2, FaultPlan::new(0), Duration::from_millis(80), |comm| {
+        let peer = 1 - comm.rank();
+        let v: u64 = comm.recv(peer, 1); // deadlock: nobody has sent yet
+        comm.send(peer, 1, v);
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "watchdog failed to bound the deadlock"
+    );
+    for (rank, r) in results.iter().enumerate() {
+        assert!(
+            matches!(
+                r,
+                Err(CommError::Timeout { .. }) | Err(CommError::PeerDead { .. })
+            ),
+            "rank {rank} should fail structurally, got {r:?}"
+        );
+    }
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r, Err(CommError::Timeout { .. }))),
+        "at least one rank must report the originating timeout"
+    );
+}
+
+#[test]
+fn dropped_send_surfaces_as_timeout() {
+    let plan = FaultPlan::new(5).drop_sends(1000).only_src(0);
+    let results = chaos_run(2, plan, Duration::from_millis(80), |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 9, 123u64);
+            0
+        } else {
+            comm.recv::<u64>(0, 9)
+        }
+    });
+    assert!(
+        matches!(
+            results[1],
+            Err(CommError::Timeout {
+                rank: 1,
+                src: 0,
+                tag: 9
+            })
+        ),
+        "receiver of a dropped message must time out, got {:?}",
+        results[1]
+    );
+}
+
+#[test]
+fn killed_pe_yields_peer_dead_everywhere() {
+    // Rank 1 dies at its first phase; rank 0 parks in a collective that
+    // needs it. Every rank's outcome must name the dead PE.
+    let plan = FaultPlan::new(0).kill(1, 0);
+    let t0 = Instant::now();
+    let results = chaos_run(3, plan, Duration::from_secs(5), |comm| {
+        barrier(comm);
+        comm.rank()
+    });
+    assert!(t0.elapsed() < Duration::from_secs(4), "kill must not hang");
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Err(CommError::PeerDead { dead, .. }) => assert_eq!(*dead, 1),
+            Err(CommError::Timeout { .. }) if rank != 1 => {}
+            other => panic!("rank {rank}: expected structured failure, got {other:?}"),
+        }
+    }
+    assert!(
+        matches!(results[1], Err(CommError::PeerDead { rank: 1, dead: 1 })),
+        "the killed rank must report its own death, got {:?}",
+        results[1]
+    );
+}
+
+#[test]
+fn stall_injection_changes_timing_not_results() {
+    let clean = run(3, allgatherv_workload);
+    let plan = FaultPlan::new(11).stall(300, 200);
+    let stalled = chaos_run(3, plan, DEADLINE, allgatherv_workload);
+    let stalled: Vec<_> = stalled
+        .into_iter()
+        .map(|r| r.expect("stalls must not fail a run"))
+        .collect();
+    assert_eq!(clean, stalled);
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    let plan = || FaultPlan::new(21).delay(300, 4).stall(100, 50);
+    let a = chaos_run(3, plan(), DEADLINE, alltoallv_workload);
+    let b = chaos_run(3, plan(), DEADLINE, alltoallv_workload);
+    let unwrap = |v: Vec<Result<Vec<Vec<u64>>, CommError>>| -> Vec<Vec<Vec<u64>>> {
+        v.into_iter().map(|r| r.expect("delay-only plan")).collect()
+    };
+    assert_eq!(unwrap(a), unwrap(b));
+}

@@ -25,17 +25,128 @@
 //! makes `notify_one` on the send path sufficient — there is no second
 //! waiter a wakeup could be lost to. The loom model in
 //! `tests/concurrency.rs` checks this handshake.
+//!
+//! # Fault model (DESIGN.md §9)
+//!
+//! A [`Universe`] can be built with a [`FaultHook`] (fault injection) and a
+//! watchdog deadline (fault *tolerance*). The hook is a pure decision
+//! oracle — it only ever sees `(src, dst, tag, seq)` integers and returns a
+//! [`SendFault`]; the mailbox internals, including delayed payloads parked
+//! in per-`(dst, tag)` limbo queues, never leave this file. Failures are
+//! reported as [`CommError`] through the *poison* protocol: the first PE to
+//! observe a fatal condition (deadline expiry, a dead peer, a panic) poisons
+//! the universe, and every other PE unwinds with a structured error at its
+//! next blocking operation instead of parking forever.
 
 use parking_lot::{Condvar, Mutex};
 use pgp_graph::Node;
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A message tag. The high bits carry a per-collective sequence number so
 /// that back-to-back collective calls on different PEs can never interleave.
 pub type Tag = u64;
+
+/// A structured communication failure. Blocking operations surface these
+/// instead of parking forever once the universe is poisoned or a deadline
+/// (the deadlock watchdog) expires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A blocking receive exceeded its deadline. `rank` is the PE that
+    /// timed out (the watchdog origin for poison propagation), `src`/`tag`
+    /// identify the message it was parked on.
+    Timeout {
+        /// The PE whose wait expired.
+        rank: usize,
+        /// The sender it was waiting for.
+        src: usize,
+        /// The tag it was waiting for.
+        tag: Tag,
+    },
+    /// A peer PE died (was killed by fault injection or panicked) while
+    /// `rank` still depended on it.
+    PeerDead {
+        /// The PE reporting the failure.
+        rank: usize,
+        /// The PE that died.
+        dead: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, src, tag } => write!(
+                f,
+                "PE {rank}: receive from PE {src} (tag {tag}) exceeded its deadline"
+            ),
+            CommError::PeerDead { rank, dead } => {
+                write!(f, "PE {rank}: peer PE {dead} died")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Crate-internal unwind sentinel: infallible comm APIs abort a poisoned
+/// PE by panicking with this payload. The runner recognizes it and converts
+/// the PE's result into `Err(CommError)` instead of resuming the panic, so
+/// structured failures never masquerade as crashes.
+pub(crate) struct CommAbort(pub(crate) CommError);
+
+/// The fault-injection decision for one send, returned by
+/// [`FaultHook::on_send`]. Payloads themselves never reach the hook — a
+/// delayed message is parked in a sender-side limbo queue *inside* the comm
+/// layer and released after `holds` later send events (or when the sender
+/// next blocks, which bounds the delay and keeps every plan live).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard the message (a lost send; the receiver will hit the
+    /// watchdog deadline unless the protocol tolerates the loss).
+    Drop,
+    /// Hold the message back across the next `holds` send events from this
+    /// PE, reordering it behind later traffic to *other* tags. FIFO order
+    /// per `(src, tag)` is preserved: follow-up messages for a tag whose
+    /// queue is already in limbo join that queue unconditionally.
+    Delay {
+        /// Number of subsequent send events to hold the message for.
+        holds: u32,
+    },
+    /// Sleep the sending thread for `micros` before delivering — a slow-PE
+    /// stall (wall-clock only; delivery order is unchanged).
+    Stall {
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+}
+
+/// A deterministic fault-injection oracle (implemented by `pgp-chaos`).
+///
+/// Implementations must be pure functions of their arguments (plus their own
+/// frozen configuration): the comm layer consults the hook on every send and
+/// at every phase boundary, and replaying the same plan against the same
+/// program must yield the same decisions. The xtask lint confines this
+/// trait (and [`SendFault`]) to the comm layer and the `pgp-chaos` crate so
+/// algorithm code can never grow a dependency on fault injection.
+pub trait FaultHook: Send + Sync {
+    /// Decision for send event `seq` (a per-sender counter) from `src` to
+    /// `dst` with `tag`.
+    fn on_send(&self, src: usize, dst: usize, tag: Tag, seq: u64) -> SendFault;
+
+    /// If `Some(p)`, PE `rank` is killed (unwound, poisoning the universe
+    /// with [`CommError::PeerDead`]) when it starts phase `p` — phases are
+    /// counted per PE as [`Comm::fresh_tag_block`] calls.
+    fn kill_at_phase(&self, rank: usize) -> Option<u64> {
+        let _ = rank;
+        None
+    }
+}
 
 /// A message payload. The two variants before `Other` are the dominant
 /// payload types on the hot path (ghost-label updates and reduction
@@ -69,15 +180,24 @@ fn pack<T: Send + 'static>(msg: T) -> Payload {
 ///
 /// # Panics
 /// Panics if the payload's type does not match `T` — that is a protocol
-/// bug, not a runtime condition.
+/// bug, not a runtime condition. The message names the expected type and
+/// the actual payload type (for the typed fast-path variants the actual
+/// type is known statically; for boxed payloads only its `TypeId` is
+/// recoverable through `dyn Any`).
 fn unpack<T: Send + 'static>(payload: Payload, src: usize, tag: Tag) -> T {
+    fn mismatch<T>(src: usize, tag: Tag, actual: &str) -> ! {
+        panic!(
+            "type mismatch on tag {tag} from {src}: expected {}, got {actual}",
+            std::any::type_name::<T>()
+        )
+    }
     match payload {
         Payload::Pairs(v) => {
             let mut slot = Some(v);
             let any: &mut dyn Any = &mut slot;
             match any.downcast_mut::<Option<T>>() {
                 Some(out) => out.take().expect("freshly wrapped"),
-                None => panic!("type mismatch on tag {tag} from {src}"),
+                None => mismatch::<T>(src, tag, "Vec<(Node, Node)> (typed fast path)"),
             }
         }
         Payload::U64s(v) => {
@@ -85,12 +205,17 @@ fn unpack<T: Send + 'static>(payload: Payload, src: usize, tag: Tag) -> T {
             let any: &mut dyn Any = &mut slot;
             match any.downcast_mut::<Option<T>>() {
                 Some(out) => out.take().expect("freshly wrapped"),
-                None => panic!("type mismatch on tag {tag} from {src}"),
+                None => mismatch::<T>(src, tag, "Vec<u64> (typed fast path)"),
             }
         }
-        Payload::Other(b) => *b
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("type mismatch on tag {tag} from {src}")),
+        Payload::Other(b) => match b.downcast::<T>() {
+            Ok(v) => *v,
+            Err(b) => mismatch::<T>(
+                src,
+                tag,
+                &format!("a boxed payload with {:?}", (*b).type_id()),
+            ),
+        },
     }
 }
 
@@ -105,6 +230,11 @@ const SLOTS_PER_SRC: usize = 8;
 fn slot_of(tag: Tag) -> usize {
     (((tag ^ (tag >> 16)).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 61) as usize // lint:cast-ok: 3-bit slot index, always < SLOTS_PER_SRC
 }
+
+/// Debug-build ceiling on simultaneously live tags from one sender (see
+/// [`SrcState::push`]). Generously above the steady-state bound of a few
+/// in-flight exchange phases plus collective rounds.
+const OVERFLOW_SOFT_CAP: usize = 128;
 
 /// FIFO of messages for one `(src, tag)` pair. `tag` is only meaningful
 /// while `fifo` is non-empty: an emptied queue is claimable by any tag and
@@ -153,6 +283,16 @@ impl SrcState {
             q.fifo.push_back(payload);
             return;
         }
+        // The overflow list only grows while more tags are simultaneously
+        // live from one sender than SLOTS_PER_SRC; in steady state emptied
+        // queues are reclaimed. Unbounded growth means a protocol leak
+        // (tags sent but never received) — catch it loudly in debug builds
+        // instead of silently accumulating queues.
+        debug_assert!(
+            self.overflow.len() < OVERFLOW_SOFT_CAP,
+            "mailbox overflow list grew past {OVERFLOW_SOFT_CAP} live tags from one \
+             sender; a tag is probably sent but never received (leaked tag block)"
+        );
         self.overflow.push(TagQueue {
             tag,
             fifo: VecDeque::from([payload]),
@@ -198,11 +338,35 @@ pub struct Universe {
     /// Approximate payload volume in "elements" (senders report their own
     /// counts; see [`Comm::send_counted`]).
     elements_sent: AtomicU64,
+    /// Messages discarded by fault injection ([`SendFault::Drop`]).
+    messages_dropped: AtomicU64,
+    /// Fast poison flag; the authoritative record is `poison`. Checked on
+    /// every blocking-path entry so surviving PEs fail fast.
+    poisoned: AtomicBool,
+    /// First fatal failure observed anywhere in the group (first wins).
+    poison: Mutex<Option<CommError>>,
+    /// Watchdog deadline for blocking receives. `None` = park forever (the
+    /// classic substrate; poison notifications still wake parked PEs).
+    deadline: Option<Duration>,
+    /// Fault-injection oracle; `None` = the zero-overhead fault-free path.
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Universe {
-    /// Creates the shared state for `size` PEs.
+    /// Creates the shared state for `size` PEs (no fault injection, no
+    /// watchdog — the classic substrate).
     pub fn new(size: usize) -> Arc<Self> {
+        Self::with_chaos(size, None, None)
+    }
+
+    /// Creates the shared state for `size` PEs with an optional watchdog
+    /// `deadline` for blocking receives and an optional fault-injection
+    /// `hook` (see [`FaultHook`]).
+    pub fn with_chaos(
+        size: usize,
+        deadline: Option<Duration>,
+        hook: Option<Arc<dyn FaultHook>>,
+    ) -> Arc<Self> {
         assert!(size > 0, "need at least one PE");
         Arc::new(Self {
             mailboxes: (0..size)
@@ -215,6 +379,11 @@ impl Universe {
                 .collect(),
             messages_sent: AtomicU64::new(0),
             elements_sent: AtomicU64::new(0),
+            messages_dropped: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            poison: Mutex::new(None),
+            deadline,
+            hook,
         })
     }
 
@@ -225,7 +394,14 @@ impl Universe {
             universe: Arc::clone(self),
             rank,
             seq: AtomicU64::new(0),
+            send_seq: AtomicU64::new(0),
+            limbo: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of PEs in the group.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
     }
 
     /// Number of point-to-point messages sent so far across all PEs.
@@ -237,6 +413,61 @@ impl Universe {
     pub fn element_count(&self) -> u64 {
         self.elements_sent.load(Ordering::Relaxed) // lint:relaxed-ok: diagnostic-only counter
     }
+
+    /// Number of messages discarded by fault injection.
+    pub fn dropped_count(&self) -> u64 {
+        self.messages_dropped.load(Ordering::Relaxed) // lint:relaxed-ok: diagnostic-only counter
+    }
+
+    /// Marks the whole universe failed with `err` (the first poison wins)
+    /// and wakes every parked PE so the failure propagates promptly.
+    ///
+    /// Safe to call from any thread, any number of times; later calls keep
+    /// the original error. Message payload visibility is unaffected — this
+    /// only gates the blocking paths.
+    pub fn poison(&self, err: CommError) {
+        {
+            let mut slot = self.poison.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+                // Release pairs with the Acquire load in `poison_error`:
+                // whoever sees the flag also sees the recorded error.
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.signal.notify_all();
+        }
+    }
+
+    /// The recorded poison error, if the universe is poisoned. The fast
+    /// flag avoids the mutex on the (overwhelmingly common) healthy path.
+    pub fn poison_error(&self) -> Option<CommError> {
+        if !self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        self.poison.lock().clone()
+    }
+
+    /// True iff [`Universe::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The configured watchdog deadline, if any.
+    pub fn watchdog_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
+/// One sender-side limbo queue: messages for `(dst, tag)` held back by
+/// fault injection, released after `holds` further send events or at the
+/// sender's next blocking operation (whichever comes first).
+struct LimboQueue {
+    dst: usize,
+    tag: Tag,
+    holds: u32,
+    msgs: VecDeque<Payload>,
 }
 
 /// A per-PE communicator: rank, group size, and the message endpoints.
@@ -246,6 +477,25 @@ pub struct Comm {
     /// Sequence number for collective operations (same on all PEs because
     /// collectives are called SPMD-style in the same order everywhere).
     seq: AtomicU64,
+    /// Send-event counter feeding [`FaultHook::on_send`] (single-owner).
+    send_seq: AtomicU64,
+    /// Delayed-send queues (empty unless a [`FaultHook`] is installed).
+    /// Uncontended: only this PE's thread touches it; the lock exists so
+    /// `Comm` stays `Sync` for the scoped-thread runner.
+    limbo: Mutex<Vec<LimboQueue>>,
+}
+
+impl Drop for Comm {
+    /// A PE that exits cleanly must not strand delayed sends — its peers
+    /// may still be parked on them. Dead PEs (panicking, or in a poisoned
+    /// universe) keep their limbo: their messages are lost, like a crashed
+    /// MPI rank's send buffers.
+    fn drop(&mut self) {
+        if self.universe.hook.is_none() || std::thread::panicking() || self.universe.is_poisoned() {
+            return;
+        }
+        self.flush_limbo();
+    }
 }
 
 /// Tags below this bound are free for user messages. Tag *blocks* handed
@@ -278,6 +528,7 @@ impl Comm {
     /// Like [`Comm::send`], but records `elements` payload elements in the
     /// universe statistics (used by the benchmarks to track volume).
     pub fn send_counted<T: Send + 'static>(&self, dst: usize, tag: Tag, msg: T, elements: u64) {
+        self.check_poison();
         // Count *before* delivering: once a receiver has observed the
         // message, the statistics must already include it.
         // Statistics counters: message visibility itself is ordered by the
@@ -287,6 +538,15 @@ impl Comm {
             .elements_sent
             .fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
         let payload = pack(msg);
+        if let Some(hook) = self.universe.hook.clone() {
+            self.chaos_send(&*hook, dst, tag, payload);
+        } else {
+            self.deliver(dst, tag, payload);
+        }
+    }
+
+    /// Enqueues `payload` in `dst`'s mailbox and wakes its owner.
+    fn deliver(&self, dst: usize, tag: Tag, payload: Payload) {
         let mb = &self.universe.mailboxes[dst];
         {
             let mut inner = mb.inner.lock();
@@ -297,26 +557,179 @@ impl Comm {
         mb.signal.notify_one();
     }
 
+    /// The fault-injected send path: consults the hook, parks delayed
+    /// messages in limbo, and ages existing limbo queues by one send event.
+    fn chaos_send(&self, hook: &dyn FaultHook, dst: usize, tag: Tag, payload: Payload) {
+        // `send_seq` is per-Comm and each Comm is owned by one PE thread.
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: single-owner counter
+        let mut limbo = self.limbo.lock();
+        // Age every existing limbo queue by this send event and release the
+        // expired ones *before* handling the current message: a released
+        // queue's messages precede the current one, so per-(src, tag) FIFO
+        // holds even when the hook delays the same tag again immediately.
+        let mut i = 0;
+        while i < limbo.len() {
+            limbo[i].holds -= 1;
+            if limbo[i].holds == 0 {
+                let q = limbo.swap_remove(i);
+                for p in q.msgs {
+                    self.deliver(q.dst, q.tag, p);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // FIFO per (src, tag): if this tag's queue is still in limbo, the
+        // message must join it regardless of the hook's fresh decision —
+        // otherwise it would overtake its predecessors.
+        if let Some(q) = limbo.iter_mut().find(|q| q.dst == dst && q.tag == tag) {
+            q.msgs.push_back(payload);
+        } else {
+            match hook.on_send(self.rank, dst, tag, seq) {
+                SendFault::Deliver => self.deliver(dst, tag, payload),
+                SendFault::Drop => {
+                    self.universe
+                        .messages_dropped
+                        .fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: stats only
+                }
+                SendFault::Delay { holds } => limbo.push(LimboQueue {
+                    dst,
+                    tag,
+                    holds: holds.max(1),
+                    msgs: VecDeque::from([payload]),
+                }),
+                SendFault::Stall { micros } => {
+                    std::thread::sleep(Duration::from_micros(micros));
+                    self.deliver(dst, tag, payload);
+                }
+            }
+        }
+    }
+
+    /// Releases every delayed send immediately (FIFO within each queue).
+    /// Called before this PE blocks — a parked PE cannot produce further
+    /// send events, so without this valve a delayed last message before a
+    /// collective would deadlock the group instead of merely reordering.
+    fn flush_limbo(&self) {
+        let mut limbo = self.limbo.lock();
+        for q in limbo.drain(..) {
+            for p in q.msgs {
+                self.deliver(q.dst, q.tag, p);
+            }
+        }
+    }
+
+    /// Flushes delayed sends if fault injection is active. No-op (one
+    /// branch) on the fault-free path; called at every receive entry.
+    #[inline]
+    fn pre_block(&self) {
+        if self.universe.hook.is_some() {
+            self.flush_limbo();
+        }
+    }
+
+    /// Unwinds with the poison error if the universe is poisoned. The
+    /// sentinel payload is recognized by the runner, which converts it into
+    /// a structured `Err` (or re-raises the originating panic).
+    #[inline]
+    fn check_poison(&self) {
+        if let Some(err) = self.universe.poison_error() {
+            let err = self.localize(err);
+            std::panic::panic_any(CommAbort(err));
+        }
+    }
+
+    /// Rewrites a propagated poison error from this PE's perspective: a
+    /// dead peer is reported as *this* rank's `PeerDead`; a timeout keeps
+    /// its original coordinates (they name the watchdog origin).
+    fn localize(&self, err: CommError) -> CommError {
+        match err {
+            CommError::PeerDead { dead, .. } => CommError::PeerDead {
+                rank: self.rank,
+                dead,
+            },
+            timeout @ CommError::Timeout { .. } => timeout,
+        }
+    }
+
     /// Blocking selective receive: waits for a message from `src` with
     /// `tag` and returns its payload.
+    ///
+    /// If the universe has a watchdog deadline and it expires, or the
+    /// universe is poisoned while parked, this unwinds with the comm-abort
+    /// sentinel (the runner surfaces it as `Err(CommError)`).
     ///
     /// # Panics
     /// Panics if the received payload has a different type than `T` —
     /// that is a protocol bug, not a runtime condition.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        match self.recv_inner(src, tag, self.universe.deadline) {
+            Ok(msg) => msg,
+            Err(err) => std::panic::panic_any(CommAbort(self.localize(err))),
+        }
+    }
+
+    /// As [`Comm::recv`], with an explicit per-receive `deadline` that
+    /// overrides the universe watchdog deadline. On expiry the universe is
+    /// poisoned (the group is wedged — a lone timeout cannot be recovered
+    /// locally) and `CommError::Timeout` is returned to *this* caller.
+    pub fn recv_deadline<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+        deadline: Duration,
+    ) -> Result<T, CommError> {
+        self.recv_inner(src, tag, Some(deadline))
+    }
+
+    /// The shared blocking-receive core: flushes this PE's limbo (it is
+    /// about to park and can produce no further send events), then waits —
+    /// bounded by `deadline` when one is set — re-checking poison on every
+    /// wakeup. A deadline expiry poisons the universe so the whole group
+    /// fails structurally, not just this PE.
+    fn recv_inner<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> Result<T, CommError> {
+        self.pre_block();
         let mb = &self.universe.mailboxes[self.rank];
+        let start = deadline.map(|_| Instant::now());
         let mut inner = mb.inner.lock();
         loop {
             if let Some(payload) = inner.by_src[src].take(tag) {
                 drop(inner);
-                return unpack(payload, src, tag);
+                return Ok(unpack(payload, src, tag));
             }
-            mb.signal.wait(&mut inner);
+            if let Some(err) = self.universe.poison_error() {
+                return Err(self.localize(err));
+            }
+            match (deadline, start) {
+                (Some(limit), Some(t0)) => {
+                    let elapsed = t0.elapsed();
+                    if elapsed >= limit {
+                        let err = CommError::Timeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                        };
+                        // Poison first, then return: peers parked on us
+                        // must unwind too, or the join loop would hang on
+                        // them even though we failed cleanly.
+                        self.universe.poison(err.clone());
+                        return Err(err);
+                    }
+                    mb.signal.wait_for(&mut inner, limit - elapsed);
+                }
+                _ => mb.signal.wait(&mut inner),
+            }
         }
     }
 
     /// Non-blocking selective receive.
     pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Option<T> {
+        self.check_poison();
         let mb = &self.universe.mailboxes[self.rank];
         let mut inner = mb.inner.lock();
         let payload = inner.by_src[src].take(tag)?;
@@ -329,7 +742,10 @@ impl Comm {
     /// arrival interleaving allows (only the randomized rumor-spreading
     /// protocol receives this way).
     pub fn recv_any<T: Send + 'static>(&self, tag: Tag) -> (usize, T) {
+        self.pre_block();
         let mb = &self.universe.mailboxes[self.rank];
+        let deadline = self.universe.deadline;
+        let start = deadline.map(|_| Instant::now());
         let mut inner = mb.inner.lock();
         loop {
             let size = inner.by_src.len();
@@ -339,7 +755,27 @@ impl Comm {
                     return (src, unpack(payload, src, tag));
                 }
             }
-            mb.signal.wait(&mut inner);
+            if let Some(err) = self.universe.poison_error() {
+                std::panic::panic_any(CommAbort(self.localize(err)));
+            }
+            match (deadline, start) {
+                (Some(limit), Some(t0)) => {
+                    let elapsed = t0.elapsed();
+                    if elapsed >= limit {
+                        let err = CommError::Timeout {
+                            rank: self.rank,
+                            // `recv_any` has no single awaited source; report
+                            // ourselves as the park coordinate.
+                            src: self.rank,
+                            tag,
+                        };
+                        self.universe.poison(err.clone());
+                        std::panic::panic_any(CommAbort(err));
+                    }
+                    mb.signal.wait_for(&mut inner, limit - elapsed);
+                }
+                _ => mb.signal.wait(&mut inner),
+            }
         }
     }
 
@@ -347,6 +783,8 @@ impl Comm {
     /// blocking — used by the rumor-spreading protocol, which is fire-and-
     /// forget. Results are grouped by source rank, FIFO within a source.
     pub fn drain<T: Send + 'static>(&self, tag: Tag) -> Vec<(usize, T)> {
+        self.check_poison();
+        self.pre_block();
         let mb = &self.universe.mailboxes[self.rank];
         let mut raw: Vec<(usize, Payload)> = Vec::new();
         {
@@ -374,7 +812,24 @@ impl Comm {
         // `seq` is per-Comm and each Comm is owned by one PE thread, so
         // there is no cross-thread ordering to establish.
         let s = self.seq.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: single-owner counter
+        if let Some(hook) = &self.universe.hook {
+            if hook.kill_at_phase(self.rank) == Some(s) {
+                let err = CommError::PeerDead {
+                    rank: self.rank,
+                    dead: self.rank,
+                };
+                self.universe.poison(err.clone());
+                std::panic::panic_any(CommAbort(err));
+            }
+        }
         COLLECTIVE_TAG_BASE + s * (1 << 16)
+    }
+
+    /// Number of phases (tag blocks) this PE has started so far. Chaos
+    /// tests measure a fault-free run with this to pick a kill phase.
+    pub fn phases_started(&self) -> u64 {
+        // Single-owner counter (see `fresh_tag_block`).
+        self.seq.load(Ordering::Relaxed) // lint:relaxed-ok: single-owner counter
     }
 }
 
@@ -524,5 +979,216 @@ mod tests {
             }
         });
         assert_eq!(results[1], TAGS * PER_TAG);
+    }
+
+    #[test]
+    #[should_panic(expected = "got Vec<u64> (typed fast path)")]
+    fn type_mismatch_names_expected_and_actual() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1u64, 2, 3]);
+            } else {
+                let _: String = comm.recv(0, 5);
+            }
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "leaked tag block")]
+    fn overflow_growth_past_soft_cap_is_caught() {
+        use super::OVERFLOW_SOFT_CAP;
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                // More simultaneously live tags than slots + soft cap, none
+                // of them ever received: the debug assertion must fire.
+                for t in 0..(OVERFLOW_SOFT_CAP as u64 + 16) {
+                    comm.send(1, 1000 + t, t);
+                }
+            } else {
+                // Receive a sentinel that is never sent on a separate tag so
+                // this PE outlives the sender's burst without consuming it.
+                let _ = comm.try_recv::<u64>(0, 1);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::runner::{run_config, RunConfig};
+
+    /// Delays every `n`-th send event by `holds` send events.
+    struct DelayEveryNth {
+        n: u64,
+        holds: u32,
+    }
+
+    impl FaultHook for DelayEveryNth {
+        fn on_send(&self, _src: usize, _dst: usize, _tag: Tag, seq: u64) -> SendFault {
+            if seq.is_multiple_of(self.n) {
+                SendFault::Delay { holds: self.holds }
+            } else {
+                SendFault::Deliver
+            }
+        }
+    }
+
+    /// Drops one specific (src, dst, tag) message.
+    struct DropOne {
+        src: usize,
+        dst: usize,
+        tag: Tag,
+    }
+
+    impl FaultHook for DropOne {
+        fn on_send(&self, src: usize, dst: usize, tag: Tag, _seq: u64) -> SendFault {
+            if (src, dst, tag) == (self.src, self.dst, self.tag) {
+                SendFault::Drop
+            } else {
+                SendFault::Deliver
+            }
+        }
+    }
+
+    /// Kills `rank` when it starts phase `phase` (fresh_tag_block call).
+    struct KillAt {
+        rank: usize,
+        phase: u64,
+    }
+
+    impl FaultHook for KillAt {
+        fn on_send(&self, _src: usize, _dst: usize, _tag: Tag, _seq: u64) -> SendFault {
+            SendFault::Deliver
+        }
+
+        fn kill_at_phase(&self, rank: usize) -> Option<u64> {
+            (rank == self.rank).then_some(self.phase)
+        }
+    }
+
+    #[test]
+    fn delayed_sends_preserve_per_tag_fifo() {
+        // Delay injection reorders across tags but must never reorder
+        // within a (src, tag) stream — receivers see identical payloads.
+        let cfg = RunConfig {
+            deadline: Some(Duration::from_secs(5)),
+            fault_hook: Some(Arc::new(DelayEveryNth { n: 3, holds: 2 })),
+        };
+        let results = run_config(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                for t in 0..4u64 {
+                    for i in 0..10u64 {
+                        comm.send(1, 10 + t, t * 100 + i);
+                    }
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                for t in 0..4u64 {
+                    for _ in 0..10u64 {
+                        got.push(comm.recv::<u64>(0, 10 + t));
+                    }
+                }
+                got
+            }
+        });
+        let got = results[1].as_ref().expect("receiver succeeds");
+        let want: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..10u64).map(move |i| t * 100 + i))
+            .collect();
+        assert_eq!(got, &want, "delay injection must not break per-tag FIFO");
+    }
+
+    #[test]
+    fn dropped_message_times_out_structurally() {
+        let cfg = RunConfig {
+            deadline: Some(Duration::from_millis(60)),
+            fault_hook: Some(Arc::new(DropOne {
+                src: 0,
+                dst: 1,
+                tag: 7,
+            })),
+        };
+        let results = run_config(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 42u64);
+                0
+            } else {
+                comm.recv::<u64>(0, 7) as usize
+            }
+        });
+        assert!(
+            matches!(
+                results[1],
+                Err(CommError::Timeout {
+                    rank: 1,
+                    src: 0,
+                    tag: 7
+                })
+            ),
+            "expected a structured timeout, got {:?}",
+            results[1]
+        );
+    }
+
+    #[test]
+    fn killed_pe_poisons_the_group() {
+        // Rank 1 dies at its first phase; rank 0 parks in a receive that
+        // can never complete and must unwind with PeerDead promptly.
+        let cfg = RunConfig {
+            deadline: Some(Duration::from_secs(5)),
+            fault_hook: Some(Arc::new(KillAt { rank: 1, phase: 0 })),
+        };
+        let t0 = Instant::now();
+        let results = run_config(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.recv::<u64>(1, 3)
+            } else {
+                let _ = comm.fresh_tag_block(); // killed here
+                comm.send(0, 3, 9u64);
+                9
+            }
+        });
+        assert!(
+            matches!(results[0], Err(CommError::PeerDead { rank: 0, dead: 1 })),
+            "rank 0 should observe rank 1's death, got {:?}",
+            results[0]
+        );
+        assert!(
+            matches!(results[1], Err(CommError::PeerDead { rank: 1, dead: 1 })),
+            "rank 1 should report its own death, got {:?}",
+            results[1]
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "poison propagation must beat the watchdog deadline"
+        );
+    }
+
+    #[test]
+    fn drop_counter_tracks_injected_drops() {
+        let cfg = RunConfig {
+            deadline: None,
+            fault_hook: Some(Arc::new(DropOne {
+                src: 0,
+                dst: 1,
+                tag: 99,
+            })),
+        };
+        let results = run_config(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 99, 1u64); // dropped
+                comm.send(1, 100, 2u64); // delivered
+            } else {
+                assert_eq!(comm.recv::<u64>(0, 100), 2);
+                assert!(comm.try_recv::<u64>(0, 99).is_none());
+            }
+            comm.universe().dropped_count()
+        });
+        for r in results {
+            assert_eq!(r.expect("run succeeds"), 1);
+        }
     }
 }

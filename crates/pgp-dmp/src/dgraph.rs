@@ -328,6 +328,36 @@ impl DistGraph {
         ids::node_index(l) >= self.n_local()
     }
 
+    /// Order-sensitive 64-bit fingerprint of this PE's local view (CSR over
+    /// owned nodes, translated to global targets, plus weights and the
+    /// distribution coordinates). Combining all PEs' values — e.g. with a
+    /// sum-allreduce — yields a stable group-wide graph identity regardless
+    /// of ghost numbering; checkpoint/restart uses it to refuse replaying a
+    /// snapshot against a different graph or PE count (DESIGN.md §9).
+    pub fn fingerprint_local(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |x: u64| h = (h ^ x).wrapping_mul(PRIME).rotate_left(29);
+        mix(self.dist.n_global);
+        mix(ids::count_global(self.dist.p));
+        mix(self.first_global());
+        for &x in &self.xadj {
+            mix(x);
+        }
+        // Targets via global IDs: ghost local numbering is an artifact of
+        // arrival order, the global ID is the portable identity.
+        for &t in &self.adjncy {
+            mix(ids::node_global(self.local_to_global(t)));
+        }
+        for &w in &self.adjwgt {
+            mix(w);
+        }
+        for &w in &self.node_weight[..self.n_local()] {
+            mix(w);
+        }
+        h
+    }
+
     /// Local → global ID translation (owned and ghost).
     #[inline]
     pub fn local_to_global(&self, l: Node) -> Node {

@@ -15,6 +15,17 @@
 //! symmetric (every adjacent pair sends both ways each phase), each PE's
 //! pool refills at the same rate its send buffers drain, and steady-state
 //! phases allocate nothing (see DESIGN.md "Hot-path memory layout").
+//!
+//! # Fault model (DESIGN.md §9)
+//!
+//! The exchange is chaos-safe by construction: every phase uses a fresh
+//! tag from [`Comm::fresh_tag_block`] and every receive names its source
+//! PE, so injected cross-tag reordering (a delayed phase-`κ−1` message
+//! arriving after phase-`κ` traffic) cannot be mis-applied — delivery
+//! stays FIFO per `(src, tag)` and [`LabelExchange::receive_and_apply`]
+//! only drains the tag it is asked for. Dropped or killed peers surface
+//! through the watchdog as structured [`crate::CommError`]s at the next
+//! blocking receive rather than a hang.
 
 use crate::comm::{Comm, Tag};
 use crate::dgraph::DistGraph;

@@ -22,7 +22,7 @@ pub mod dgraph;
 pub mod exchange;
 pub mod runner;
 
-pub use comm::{Comm, Tag, Universe};
+pub use comm::{Comm, CommError, FaultHook, SendFault, Tag, Universe};
 pub use dgraph::DistGraph;
 pub use exchange::LabelExchange;
-pub use runner::{mix_seed, run, run_seeded, run_timed, thread_cpu_seconds};
+pub use runner::{mix_seed, run, run_config, run_seeded, run_timed, thread_cpu_seconds, RunConfig};

@@ -1,9 +1,112 @@
 //! SPMD runner: executes one closure per simulated PE on its own OS thread.
+//!
+//! Every PE closure runs under `catch_unwind`. A *genuine* panic in one PE
+//! poisons the universe (see `comm`), which wakes all peers parked in
+//! blocking receives so the whole group unwinds promptly instead of
+//! deadlocking the join loop; the first genuine panic is then re-raised
+//! (first panic wins). Structured failures — watchdog timeouts, killed
+//! peers — unwind with a crate-internal sentinel that [`run_config`]
+//! surfaces as `Err(CommError)` per PE instead of a crash.
 
-use crate::comm::{Comm, Universe};
+use crate::comm::{Comm, CommAbort, CommError, FaultHook, Universe};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for [`run_config`]: the knobs that turn the fault-free
+/// substrate into a chaos-hardened one.
+#[derive(Default, Clone)]
+pub struct RunConfig {
+    /// Deadlock-watchdog deadline applied to every blocking receive. The
+    /// first PE whose wait exceeds it poisons the universe with
+    /// [`CommError::Timeout`] and the whole group fails structurally.
+    /// `None` parks forever (the classic substrate).
+    pub deadline: Option<Duration>,
+    /// Fault-injection oracle (see [`FaultHook`] and the `pgp-chaos`
+    /// crate). `None` is the zero-overhead fault-free path.
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
+}
+
+/// Per-PE outcome of one thread: finished value, structured comm failure,
+/// or a genuine panic payload (re-raised by the caller).
+enum PeOutcome<R> {
+    Done(Result<R, CommError>),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The shared runner core: spawns one thread per PE over `universe`, joins
+/// them all, converts comm-abort sentinels into `Err`, and re-raises the
+/// first genuine panic (in rank order) after every thread has exited.
+fn run_universe<R, F>(universe: Arc<Universe>, f: F) -> Vec<Result<R, CommError>>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let p = universe.size();
+    let outcomes: Vec<PeOutcome<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let comm = universe.comm(rank);
+            let f = &f;
+            let u = Arc::clone(&universe);
+            handles.push(scope.spawn(move || {
+                // The closure only crosses the unwind boundary to be
+                // re-raised (or mapped to an error) on the joining side, so
+                // any broken invariants die with the run.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                    Ok(r) => PeOutcome::Done(Ok(r)),
+                    Err(payload) => match payload.downcast::<CommAbort>() {
+                        Ok(abort) => PeOutcome::Done(Err(abort.0)),
+                        Err(payload) => {
+                            // Genuine panic: poison so peers parked in
+                            // recv/collectives unwind instead of waiting
+                            // for a message that will never come.
+                            u.poison(CommError::PeerDead { rank, dead: rank });
+                            PeOutcome::Panicked(payload)
+                        }
+                    },
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                // The closure caught everything; a join error would mean a
+                // panic while unwinding (abort, not unwind).
+                Err(payload) => PeOutcome::Panicked(payload),
+            })
+            .collect()
+    });
+    let mut results = Vec::with_capacity(p);
+    let mut first_panic = None;
+    for outcome in outcomes {
+        match outcome {
+            PeOutcome::Done(r) => results.push(r),
+            PeOutcome::Panicked(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+                // Placeholder never observed: the panic below wins.
+                results.push(Err(CommError::PeerDead { rank: 0, dead: 0 }));
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
+}
 
 /// Runs `f` on `p` PEs (threads); returns the per-rank results in rank
-/// order. Panics in any PE propagate once all threads have been joined.
+/// order. Panics in any PE propagate once all threads have been joined
+/// (first panicking rank wins), and poison the universe so peers blocked
+/// in `recv`/collectives unwind promptly instead of deadlocking.
+///
+/// # Panics
+/// Re-raises the first PE panic. Also panics if a PE fails with a
+/// structured [`CommError`] (only possible when a watchdog or fault hook
+/// is installed — use [`run_config`] to observe those as values).
 ///
 /// ```
 /// let sums = pgp_dmp::run(4, |comm| {
@@ -16,22 +119,23 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    let universe = Universe::new(p);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for rank in 0..p {
-            let comm = universe.comm(rank);
-            let f = &f;
-            handles.push(scope.spawn(move || f(&comm)));
-        }
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(e) => std::panic::resume_unwind(e),
-            })
-            .collect()
-    })
+    run_universe(Universe::new(p), f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|err| panic!("PE failed: {err}")))
+        .collect()
+}
+
+/// Runs `f` on `p` PEs under `cfg` (watchdog deadline and/or fault
+/// injection); returns each PE's outcome as a value. Genuine panics still
+/// propagate as panics (first wins); structured failures — a timeout from
+/// the deadlock watchdog, a peer killed by the fault plan — come back as
+/// `Err(CommError)` so chaos tests can assert on them.
+pub fn run_config<R, F>(p: usize, cfg: RunConfig, f: F) -> Vec<Result<R, CommError>>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    run_universe(Universe::with_chaos(p, cfg.deadline, cfg.fault_hook), f)
 }
 
 /// Like [`run`], but hands each PE a mutable per-rank seed value derived
@@ -85,7 +189,37 @@ pub fn thread_cpu_seconds() -> f64 {
         return 0.0;
     };
     let ticks: f64 = ut.parse::<u64>().unwrap_or(0) as f64 + st.parse::<u64>().unwrap_or(0) as f64;
-    ticks / 100.0 // USER_HZ is 100 on Linux
+    ticks / clock_ticks_per_second()
+}
+
+/// `sysconf(_SC_CLK_TCK)`: the kernel's tick rate for `/proc` CPU-time
+/// fields. Read once via `getconf CLK_TCK` (the workspace is `#![forbid
+/// (unsafe_code)]`-adjacent and vendors no libc, so the POSIX query goes
+/// through the standard utility instead of an FFI call); falls back to
+/// 100, which is `USER_HZ` on every mainstream Linux configuration —
+/// the kernel fixes the userspace-visible rate at 100 regardless of the
+/// scheduler's internal `CONFIG_HZ`, so the fallback is almost always
+/// exact rather than approximate.
+fn clock_ticks_per_second() -> f64 {
+    static CLK_TCK: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *CLK_TCK.get_or_init(|| {
+        std::process::Command::new("getconf")
+            .arg("CLK_TCK")
+            .output()
+            .ok()
+            .and_then(|out| {
+                if !out.status.success() {
+                    return None;
+                }
+                String::from_utf8(out.stdout)
+                    .ok()?
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+            })
+            .filter(|&hz| hz > 0.0)
+            .unwrap_or(100.0)
+    })
 }
 
 /// SplitMix64-style mixing of a global seed and a rank.
@@ -133,6 +267,60 @@ mod tests {
             }
         });
     }
+
+    #[test]
+    #[should_panic(expected = "pe boom")]
+    fn panic_unblocks_parked_peer() {
+        // Rank 0 parks in a recv that will never be satisfied; rank 1
+        // panics. Without panic-poisoning this deadlocks the join loop
+        // (rank 0's handle never joins). The panic must still win over
+        // rank 0's structured unwind.
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                let _: u64 = comm.recv(1, 42);
+            } else {
+                panic!("pe boom");
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_times_out_instead_of_hanging() {
+        let cfg = RunConfig {
+            deadline: Some(Duration::from_millis(50)),
+            fault_hook: None,
+        };
+        // Two PEs park in a recv/recv cycle: a classic deadlock. The
+        // watchdog must convert it into structured errors on every rank.
+        let results = run_config(2, cfg, |comm| {
+            let peer = 1 - comm.rank();
+            let _: u64 = comm.recv(peer, 9);
+        });
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(
+                matches!(
+                    r,
+                    Err(CommError::Timeout { .. }) | Err(CommError::PeerDead { .. })
+                ),
+                "expected structured failure, got {r:?}"
+            );
+        }
+        // At least one PE reports the actual timeout (the watchdog origin).
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(CommError::Timeout { .. }))));
+    }
+
+    #[test]
+    fn run_config_without_chaos_matches_run() {
+        let results = run_config(3, RunConfig::default(), |comm| comm.rank() * 2);
+        let values: Vec<usize> = results
+            .into_iter()
+            .map(|r| r.expect("fault-free run cannot fail"))
+            .collect();
+        assert_eq!(values, vec![0, 2, 4]);
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +348,13 @@ mod cpu_time_tests {
         assert_eq!(results, vec![0, 1, 2]);
         assert_eq!(times.len(), 3);
         assert!(times.iter().all(|&t| (0.0..10.0).contains(&t)));
+    }
+
+    #[test]
+    fn clock_tick_rate_is_sane() {
+        let hz = clock_ticks_per_second();
+        // POSIX guarantees a positive rate; every Linux we target uses
+        // USER_HZ = 100, but accept any plausible configuration.
+        assert!((1.0..=10_000.0).contains(&hz), "implausible CLK_TCK {hz}");
     }
 }

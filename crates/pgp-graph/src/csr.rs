@@ -197,6 +197,30 @@ impl CsrGraph {
         &self.node_weight
     }
 
+    /// Order-sensitive 64-bit structural fingerprint over the CSR arrays
+    /// and weights. Used by checkpoint/restart to verify that a snapshot is
+    /// replayed against the same graph (DESIGN.md §9); FNV-style, not
+    /// cryptographic.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |x: u64| h = (h ^ x).wrapping_mul(PRIME).rotate_left(29);
+        mix(self.xadj.len() as u64);
+        for &x in &self.xadj {
+            mix(x);
+        }
+        for &v in &self.adjncy {
+            mix(u64::from(v));
+        }
+        for &w in &self.adjwgt {
+            mix(w);
+        }
+        for &w in &self.node_weight {
+            mix(w);
+        }
+        h
+    }
+
     /// Average degree `2m / n` (0 for the empty graph).
     pub fn avg_degree(&self) -> f64 {
         if self.n() == 0 {

@@ -79,6 +79,20 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`], mirroring `parking_lot`'s type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True iff the wait ended because the timeout elapsed (a notification
+    /// may still have raced in; callers re-check their predicate).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable with the `parking_lot` API.
 #[derive(Default, Debug)]
 pub struct Condvar {
@@ -103,6 +117,25 @@ impl Condvar {
         let inner = guard.inner.take().expect("guard present before wait");
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses, releasing `guard`'s lock
+    /// while parked. Returns a [`WaitTimeoutResult`] exactly like
+    /// `parking_lot`; spurious wakeups are possible.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Wakes one waiting thread. Returns whether a notification was issued
@@ -160,6 +193,15 @@ mod tests {
         }
         t.join().expect("producer thread");
         assert!(*started);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!    `crates/pgp-dmp/src/comm.rs`. The single-consumer invariant that
 //!    makes `notify_one` and the per-(src, tag) FIFO guarantee sound is
 //!    local to that file; code elsewhere must stay behind the `Comm` API.
+//! 6. **chaos-hooks** — the fault-injection seam (`FaultHook`, `SendFault`)
+//!    may only be named in the comm layer (`comm.rs`, `runner.rs`, the
+//!    `pgp-dmp` re-export) and the `pgp-chaos` crate (ISSUE 3). Algorithm
+//!    code consulting the fault oracle would let injected faults leak into
+//!    program logic, silently turning chaos tests into self-fulfilling
+//!    prophecies.
 //!
 //! The scanner is line-based with comment/string stripping and skips
 //! `#[cfg(test)]` modules (test code may take shortcuts). It is
@@ -68,6 +74,17 @@ const MAILBOX_OWNER_FILE: &str = "crates/pgp-dmp/src/comm.rs";
 /// Mailbox-internal type names restricted to [`MAILBOX_OWNER_FILE`]
 /// (rule 5).
 const MAILBOX_INTERNALS: &[&str] = &["MailboxInner", "SrcState", "TagQueue", "Payload"];
+
+/// Files allowed to name the fault-injection seam (rule 6).
+const CHAOS_HOOK_FILES: &[&str] = &[
+    "crates/pgp-dmp/src/comm.rs",
+    "crates/pgp-dmp/src/runner.rs",
+    "crates/pgp-dmp/src/lib.rs",
+    "crates/pgp-chaos/src/lib.rs",
+];
+
+/// Fault-injection seam names restricted to [`CHAOS_HOOK_FILES`] (rule 6).
+const CHAOS_HOOK_TYPES: &[&str] = &["FaultHook", "SendFault"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -177,6 +194,7 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
     let comm_layer = rel.starts_with("crates/pgp-dmp/src/");
     let csr_restricted = !CSR_OWNER_FILES.contains(&rel);
     let mailbox_restricted = rel != MAILBOX_OWNER_FILE;
+    let chaos_restricted = !CHAOS_HOOK_FILES.contains(&rel);
     let is_test_file = rel.starts_with("tests/") || rel.contains("/tests/");
 
     let mut depth: i32 = 0;
@@ -220,6 +238,7 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
                 comm_layer,
                 csr_restricted,
                 mailbox_restricted,
+                chaos_restricted,
                 violations,
             );
         }
@@ -244,6 +263,7 @@ fn apply_rules(
     comm_layer: bool,
     csr_restricted: bool,
     mailbox_restricted: bool,
+    chaos_restricted: bool,
     violations: &mut Vec<Violation>,
 ) {
     // Rule 1: id-cast.
@@ -308,6 +328,25 @@ fn apply_rules(
                     message: format!(
                         "mailbox-internal type `{name}` named outside {MAILBOX_OWNER_FILE} \
                          (col {pos}); go through the Comm API instead"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+
+    // Rule 6: the fault-injection seam outside the comm layer / pgp-chaos.
+    if chaos_restricted {
+        for name in CHAOS_HOOK_TYPES {
+            if let Some(pos) = find_word(code, name) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "chaos-hooks",
+                    message: format!(
+                        "fault-injection type `{name}` named outside the comm layer and \
+                         pgp-chaos (col {pos}); algorithm code must not consult the fault \
+                         oracle"
                     ),
                 });
                 break;
@@ -505,6 +544,30 @@ mod tests {
         let s = strip_strings(r#"f("x as u64 [adjncy[")"#);
         assert!(find_cast(&s, "u64").is_none());
         assert!(find_ident_use(&s, "adjncy[").is_none());
+    }
+
+    #[test]
+    fn chaos_hooks_confined_to_allowlist() {
+        let src = "fn f(h: &dyn FaultHook) -> SendFault { h.on_send(0, 1, 2, 3) }\n";
+        // Outside the allowlist: two lines of one violation each is too
+        // strict — one violation for the single line.
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/core/src/partitioner.rs"),
+            "crates/core/src/partitioner.rs",
+            src,
+            &mut v,
+        );
+        assert!(v.iter().any(|x| x.rule == "chaos-hooks"), "must flag");
+        // Inside the allowlist: clean.
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/pgp-chaos/src/lib.rs"),
+            "crates/pgp-chaos/src/lib.rs",
+            src,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "chaos-hooks"), "must pass");
     }
 
     #[test]
