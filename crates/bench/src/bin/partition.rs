@@ -1,0 +1,82 @@
+//! Single-run CLI for the parallel partitioner with the observability
+//! layer enabled: partitions one benchmark instance on `p` simulated PEs
+//! and (optionally) writes the schema-versioned JSON run report.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin partition -- \
+//!     [graph=amazon] [tier=small] [k=4] [p=4] [seed=1] [preset=fast] \
+//!     [report=results/run_report.json]
+//! ```
+//!
+//! `--report <path>` is accepted as an alias for `report=<path>`. The
+//! report format is documented in DESIGN.md §10; per-level tables can be
+//! regenerated from the JSON (see EXPERIMENTS.md).
+
+use bench::harness::parse_tier;
+use bench::{arg, arg_usize, report_level_table, report_phase_table, report_refine_table};
+use parhip::{GraphClass, ParhipConfig, Preset};
+use pgp_gen::benchmark_set;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Normalize the conventional `--report <path>` spelling into the
+    // harness `key=value` form.
+    if let Some(i) = args.iter().position(|a| a == "--report") {
+        assert!(i + 1 < args.len(), "--report requires a path argument");
+        let path = args.remove(i + 1);
+        args[i] = format!("report={path}");
+    }
+    let name = arg(&args, "graph").unwrap_or_else(|| "amazon".to_string());
+    let tier = parse_tier(arg(&args, "tier"));
+    let k = arg_usize(&args, "k", 4);
+    let p = arg_usize(&args, "p", 4);
+    let seed = arg_usize(&args, "seed", 1) as u64;
+    let preset = match arg(&args, "preset").as_deref() {
+        None | Some("fast") => Preset::Fast,
+        Some("eco") => Preset::Eco,
+        Some("minimal") => Preset::Minimal,
+        Some(other) => panic!("unknown preset `{other}` (fast|eco|minimal)"),
+    };
+
+    let inst = benchmark_set::instance(&name, tier, seed);
+    let class = match inst.class {
+        benchmark_set::GraphClass::Social => GraphClass::Social,
+        benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
+    };
+    let cfg = ParhipConfig::preset(preset, k, class, seed);
+    let graph = &inst.graph;
+    println!(
+        "partition: {} (n = {}, m = {}), k = {k}, p = {p}, preset = {preset:?}, seed = {seed}",
+        inst.name,
+        graph.n(),
+        graph.m()
+    );
+
+    let (partition, stats, report) = parhip::partition_parallel_observed(graph, p, &cfg);
+    println!(
+        "cut = {}, imbalance = {:.4}, levels = {}, coarsest_n = {}",
+        partition.edge_cut(graph),
+        partition.imbalance(graph),
+        stats.levels,
+        stats.coarsest_n
+    );
+    println!("\n{}", report_phase_table(&report).render());
+    println!("{}", report_level_table(&report).render());
+    println!("{}", report_refine_table(&report).render());
+    println!(
+        "comm: {} messages, {} bytes, {} collective calls",
+        report.aggregate.messages, report.aggregate.bytes, report.aggregate.collective_calls
+    );
+
+    if let Some(path) = arg(&args, "report") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create report directory");
+            }
+        }
+        std::fs::write(&path, report.to_json(false)).expect("write run report");
+        println!("[report {path}]");
+    }
+}

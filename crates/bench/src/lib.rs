@@ -188,6 +188,77 @@ pub fn fnum(v: f64) -> String {
     }
 }
 
+/// Per-level structural table from an observability [`pgp_obs::RunReport`]:
+/// one row per contraction level with the group-agreed global sizes plus
+/// the worst per-PE local/ghost counts (rank 0's global view; locals/ghosts
+/// maxed across PEs). See EXPERIMENTS.md for the recipe.
+pub fn report_level_table(report: &pgp_obs::RunReport) -> Table {
+    let mut t = Table::new(&[
+        "cycle",
+        "level",
+        "n_global",
+        "m_global",
+        "max_local",
+        "max_ghost",
+    ]);
+    let Some(pe0) = report.per_pe.first() else {
+        return t;
+    };
+    for lv in &pe0.levels {
+        let mut max_local = 0u64;
+        let mut max_ghost = 0u64;
+        for pe in &report.per_pe {
+            for other in &pe.levels {
+                if other.cycle == lv.cycle && other.level == lv.level {
+                    max_local = max_local.max(other.n_local);
+                    max_ghost = max_ghost.max(other.n_ghost);
+                }
+            }
+        }
+        t.row(vec![
+            lv.cycle.to_string(),
+            lv.level.to_string(),
+            lv.n_global.to_string(),
+            lv.m_global.to_string(),
+            max_local.to_string(),
+            max_ghost.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-refinement-pass quality table from a [`pgp_obs::RunReport`]: cut and
+/// imbalance after each recorded pass (rank 0's view; values are global).
+pub fn report_refine_table(report: &pgp_obs::RunReport) -> Table {
+    let mut t = Table::new(&["cycle", "level", "cut", "imbalance"]);
+    let Some(pe0) = report.per_pe.first() else {
+        return t;
+    };
+    for r in &pe0.refinements {
+        t.row(vec![
+            r.cycle.to_string(),
+            r.level.to_string(),
+            r.cut.to_string(),
+            fnum(r.imbalance),
+        ]);
+    }
+    t
+}
+
+/// Cross-PE phase-time table from a [`pgp_obs::RunReport`]: per span path,
+/// closure count and total seconds summed over PEs.
+pub fn report_phase_table(report: &pgp_obs::RunReport) -> Table {
+    let mut t = Table::new(&["phase", "count", "total_s"]);
+    for ph in &report.aggregate.phases {
+        t.row(vec![
+            ph.path.clone(),
+            ph.count.to_string(),
+            format!("{:.4}", ph.total_s),
+        ]);
+    }
+    t
+}
+
 /// Parses harness CLI args of the form `key=value`; returns the value.
 pub fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()

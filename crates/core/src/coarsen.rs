@@ -9,6 +9,7 @@ use pgp_dmp::{Comm, DistGraph};
 use pgp_graph::ids;
 use pgp_graph::Node;
 use pgp_lp::par::{parallel_sclp_cluster_with_scratch, singleton_labels, SclpScratch};
+use pgp_obs::LevelMetrics;
 
 /// One level of the distributed hierarchy.
 pub struct ParLevel {
@@ -81,17 +82,21 @@ pub fn parallel_coarsen_with_scratch(
         let u = cfg.u_bound(current.total_node_weight(), max_w, cycle);
 
         let mut labels = singleton_labels(&current);
-        parallel_sclp_cluster_with_scratch(
-            comm,
-            &current,
-            u,
-            cfg.coarsen_iterations,
-            cfg.seed
-                .wrapping_add(ids::count_global(levels.len()) * 0x51CE + ids::count_global(cycle)),
-            &mut labels,
-            cur_constraint.as_deref(),
-            scratch,
-        );
+        {
+            let _span = comm.recorder().span("cluster");
+            parallel_sclp_cluster_with_scratch(
+                comm,
+                &current,
+                u,
+                cfg.coarsen_iterations,
+                cfg.seed.wrapping_add(
+                    ids::count_global(levels.len()) * 0x51CE + ids::count_global(cycle),
+                ),
+                &mut labels,
+                cur_constraint.as_deref(),
+                scratch,
+            );
+        }
         let c = parallel_contract(comm, &current, &labels);
 
         // Stall detection (the paper stops when contraction is no longer
@@ -100,6 +105,17 @@ pub fn parallel_coarsen_with_scratch(
         if c.coarse.n_global() * 20 > current.n_global() * 19 {
             break;
         }
+
+        // Shape of the level this contraction produced (no collectives:
+        // the global counts are already group-agreed in the DistGraph).
+        comm.recorder().record_level(LevelMetrics::at(
+            cycle,
+            levels.len(),
+            c.coarse.n_global(),
+            c.coarse.m_global(),
+            ids::count_global(c.coarse.n_local()),
+            ids::count_global(c.coarse.n_ghost()),
+        ));
 
         // Project the constraint: the coarse node inherits its members'
         // shared block. Resolve for owned + ghost coarse nodes via owners.

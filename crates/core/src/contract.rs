@@ -74,6 +74,7 @@ pub fn query_owner_values<T: Clone + Send + 'static>(
 /// Contracts `graph` according to `labels` (global cluster IDs for owned +
 /// ghost nodes, as produced by the parallel SCLP).
 pub fn parallel_contract(comm: &Comm, graph: &DistGraph, labels: &[Node]) -> ParContraction {
+    let _span = comm.recorder().span("contract");
     let n_local = graph.n_local();
     let n_all = n_local + graph.n_ghost();
     assert_eq!(labels.len(), n_all, "labels must cover owned + ghost nodes");

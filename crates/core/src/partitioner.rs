@@ -28,17 +28,25 @@ use pgp_evo::{Budget, EvoConfig};
 use pgp_graph::ids;
 use pgp_graph::{lmax, CsrGraph, Node, Partition};
 use pgp_lp::par::{parallel_sclp_refine_with_scratch, SclpScratch};
-use std::time::Instant;
+use pgp_obs::RefineMetrics;
 
 /// Per-phase timings and structural statistics of one run (as reported by
 /// rank 0; all PEs see the same structure).
+///
+/// The `*_s` timing fields are filled from the observation recorder and
+/// are therefore 0.0 unless the run carries an `Obs` registry (see
+/// `pgp_dmp::RunConfig::obs`) — per-phase timing now lives in the
+/// [`pgp_obs::RunReport`], not in ad-hoc stopwatches.
 #[derive(Clone, Debug, Default)]
 pub struct ParhipStats {
-    /// Seconds spent in parallel coarsening (all cycles).
+    /// Seconds spent in parallel coarsening (all cycles; 0.0 when
+    /// observation is disabled).
     pub coarsening_s: f64,
-    /// Seconds spent in the evolutionary initial partitioning.
+    /// Seconds spent in the evolutionary initial partitioning (0.0 when
+    /// observation is disabled).
     pub initial_s: f64,
-    /// Seconds spent in uncoarsening + refinement.
+    /// Seconds spent in uncoarsening + refinement (0.0 when observation is
+    /// disabled).
     pub uncoarsening_s: f64,
     /// Hierarchy depth of the first cycle.
     pub levels: usize,
@@ -281,8 +289,10 @@ fn parhip_cycles(
     let mut scratch = SclpScratch::new();
 
     for cycle in start_cycle..cfg.vcycles.max(1) {
+        let rec = comm.recorder();
+        rec.enter("vcycle");
         // ---- Parallel coarsening -------------------------------------
-        let t0 = Instant::now();
+        rec.enter("coarsen");
         let hierarchy = parallel_coarsen_with_scratch(
             comm,
             graph.clone(),
@@ -291,7 +301,7 @@ fn parhip_cycles(
             blocks.as_deref(),
             &mut scratch,
         );
-        stats.coarsening_s += t0.elapsed().as_secs_f64();
+        rec.exit("coarsen");
         if cycle == 0 {
             stats.levels = hierarchy.depth();
             stats.coarsest_n = hierarchy.coarsest().n_global();
@@ -299,7 +309,7 @@ fn parhip_cycles(
         }
 
         // ---- Initial partitioning on the replicated coarsest graph ----
-        let t1 = Instant::now();
+        rec.enter("initial_partition");
         let coarsest = hierarchy.coarsest();
         let coarsest_global: CsrGraph = coarsest.gather_global(comm);
         let seed_partition: Option<Partition> = blocks.as_ref().map(|b| {
@@ -322,10 +332,10 @@ fn parhip_cycles(
         };
         let coarse_partition =
             pgp_evo::kaffpae(comm, &coarsest_global, &evo_cfg, seed_partition.as_ref());
-        stats.initial_s += t1.elapsed().as_secs_f64();
+        rec.exit("initial_partition");
 
         // ---- Parallel uncoarsening + refinement ------------------------
-        let t2 = Instant::now();
+        rec.enter("uncoarsen");
         let lmax_v = lmax(graph.total_node_weight(), cfg.k, cfg.eps);
         // Blocks of this PE's *owned coarsest* nodes from the replicated
         // solution.
@@ -349,6 +359,13 @@ fn parhip_cycles(
                 &mut fine_blocks,
                 &mut scratch,
             );
+            // Quality after the pass — two extra allreduces, taken only
+            // when recording (enabledness is SPMD-uniform, so the gate
+            // cannot desynchronize the group).
+            if rec.is_enabled() {
+                let (cut, imbalance) = observed_quality(comm, fine, &fine_blocks, cfg.k);
+                rec.record_refine(RefineMetrics::at(cycle, li, cut, imbalance));
+            }
             level_blocks = fine_blocks[..fine.n_local()].to_vec();
         }
         // When the hierarchy is a single level, refine directly on it.
@@ -372,9 +389,13 @@ fn parhip_cycles(
                 &mut fb,
                 &mut scratch,
             );
+            if rec.is_enabled() {
+                let (cut, imbalance) = observed_quality(comm, fine, &fb, cfg.k);
+                rec.record_refine(RefineMetrics::at(cycle, 0, cut, imbalance));
+            }
             level_blocks = fb[..fine.n_local()].to_vec();
         }
-        stats.uncoarsening_s += t2.elapsed().as_secs_f64();
+        rec.exit("uncoarsen");
 
         // Refresh ghost blocks for the next cycle's constraint.
         let mut full: Vec<Node> = vec![0; n_all];
@@ -421,10 +442,50 @@ fn parhip_cycles(
                 store.save(checkpoint);
             }
         }
+        rec.exit("vcycle");
+    }
+
+    // Phase timings come from the recorder (summed over all span paths
+    // ending in the phase name); zero when observation is disabled.
+    let rec = comm.recorder();
+    if rec.is_enabled() {
+        stats.coarsening_s = rec.phase_seconds("coarsen");
+        stats.initial_s = rec.phase_seconds("initial_partition");
+        stats.uncoarsening_s = rec.phase_seconds("uncoarsen");
     }
 
     let final_blocks = blocks.expect("at least one cycle ran");
     (final_blocks[..graph.n_local()].to_vec(), stats)
+}
+
+/// Global edge cut and imbalance of `blocks` (owned + ghost) on `graph`:
+/// one scalar allreduce for the directed cut, one vector allreduce for the
+/// block weights. Only called while observation is enabled.
+fn observed_quality(comm: &Comm, graph: &DistGraph, blocks: &[Node], k: usize) -> (u64, f64) {
+    let mut cut2 = 0u64;
+    for l in 0..graph.n_local() {
+        let v = ids::node_of_index(l);
+        let bv = blocks[l];
+        for (u, w) in graph.neighbors(v) {
+            if blocks[ids::node_index(u)] != bv {
+                cut2 += w;
+            }
+        }
+    }
+    let cut = pgp_dmp::collectives::allreduce_sum(comm, cut2) / 2;
+    let mut weights = vec![0u64; k];
+    for l in 0..graph.n_local() {
+        let v = ids::node_of_index(l);
+        weights[ids::node_index(blocks[l])] += graph.node_weight(v);
+    }
+    let weights = pgp_dmp::collectives::allreduce_sum_vec(comm, weights);
+    let total: u64 = weights.iter().sum();
+    let max_w = weights.iter().copied().max().unwrap_or(0);
+    let target = total.div_ceil(ids::count_global(k)).max(1);
+    // Integer weights in, deterministic f64 out — safe to compare across
+    // runs byte-for-byte (the golden-report tests rely on this).
+    let imbalance = max_w as f64 / target as f64 - 1.0; // lint:cast-ok: exact small integers
+    (cut, imbalance)
 }
 
 /// Projects the current fine blocks (owned part) down the hierarchy to the
@@ -509,6 +570,38 @@ fn partition_parallel_impl(
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats)
+}
+
+/// As [`partition_parallel`], additionally recording the run into a
+/// schema-versioned [`pgp_obs::RunReport`]: per-PE per-phase span timings,
+/// per-tag comm counters, per-level structural metrics, and cut/imbalance
+/// after every refinement pass. Recording adds two allreduces per
+/// refinement pass; the partition itself is identical to the unobserved
+/// run (same seeds, same message pattern otherwise).
+pub fn partition_parallel_observed(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+) -> (Partition, ParhipStats, pgp_obs::RunReport) {
+    let obs = pgp_obs::Obs::new(p);
+    let run_cfg = pgp_dmp::RunConfig {
+        obs: Some(std::sync::Arc::clone(&obs)),
+        ..Default::default()
+    };
+    let results = pgp_dmp::run_config(p, run_cfg, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed(comm, &dg, cfg);
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free observed run cannot fail structurally");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    (partition, stats, obs.report())
 }
 
 /// As [`partition_parallel`], checkpointing every V-cycle boundary into

@@ -39,7 +39,8 @@
 //! next blocking operation instead of parking forever.
 
 use parking_lot::{Condvar, Mutex};
-use pgp_graph::Node;
+use pgp_graph::{ids, Node};
+use pgp_obs::{Obs, Recorder};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -159,6 +160,21 @@ enum Payload {
     U64s(Vec<u64>),
     /// Fallback for all other message types.
     Other(Box<dyn Any + Send>),
+}
+
+impl Payload {
+    /// Payload size in wire bytes. Computed from the same value on the
+    /// send and the receive side of a message, so the per-tag totals the
+    /// recorder accumulates satisfy Σ sent − Σ dropped == Σ received
+    /// *exactly* (the conservation tests assert this). For boxed payloads
+    /// the concrete size is recovered through the vtable.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::Pairs(v) => ids::count_global(v.len() * std::mem::size_of::<(Node, Node)>()),
+            Payload::U64s(v) => ids::count_global(v.len() * std::mem::size_of::<u64>()),
+            Payload::Other(b) => ids::count_global(std::mem::size_of_val(&**b)),
+        }
+    }
 }
 
 /// Wraps `msg` into a [`Payload`], routing the dominant types into their
@@ -338,8 +354,6 @@ pub struct Universe {
     /// Approximate payload volume in "elements" (senders report their own
     /// counts; see [`Comm::send_counted`]).
     elements_sent: AtomicU64,
-    /// Messages discarded by fault injection ([`SendFault::Drop`]).
-    messages_dropped: AtomicU64,
     /// Fast poison flag; the authoritative record is `poison`. Checked on
     /// every blocking-path entry so surviving PEs fail fast.
     poisoned: AtomicBool,
@@ -350,6 +364,9 @@ pub struct Universe {
     deadline: Option<Duration>,
     /// Fault-injection oracle; `None` = the zero-overhead fault-free path.
     hook: Option<Arc<dyn FaultHook>>,
+    /// Observability registry; `None` = recording disabled (every recorder
+    /// hook is a single branch).
+    obs: Option<Arc<Obs>>,
 }
 
 impl Universe {
@@ -367,7 +384,23 @@ impl Universe {
         deadline: Option<Duration>,
         hook: Option<Arc<dyn FaultHook>>,
     ) -> Arc<Self> {
+        Self::with_config(size, deadline, hook, None)
+    }
+
+    /// The fully general constructor: watchdog `deadline`, fault-injection
+    /// `hook`, and observability registry `obs` (see `pgp-obs`). When `obs`
+    /// is set, every [`Comm`] handed out by [`Universe::comm`] records
+    /// sends/receives/waits into its rank's cell.
+    pub fn with_config(
+        size: usize,
+        deadline: Option<Duration>,
+        hook: Option<Arc<dyn FaultHook>>,
+        obs: Option<Arc<Obs>>,
+    ) -> Arc<Self> {
         assert!(size > 0, "need at least one PE");
+        if let Some(o) = &obs {
+            assert_eq!(o.p(), size, "obs registry sized for a different PE count");
+        }
         Arc::new(Self {
             mailboxes: (0..size)
                 .map(|_| Mailbox {
@@ -379,23 +412,28 @@ impl Universe {
                 .collect(),
             messages_sent: AtomicU64::new(0),
             elements_sent: AtomicU64::new(0),
-            messages_dropped: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             poison: Mutex::new(None),
             deadline,
             hook,
+            obs,
         })
     }
 
     /// A communicator handle for PE `rank`.
     pub fn comm(self: &Arc<Self>, rank: usize) -> Comm {
         assert!(rank < self.mailboxes.len());
+        let recorder = self
+            .obs
+            .as_ref()
+            .map_or_else(Recorder::disabled, |o| o.recorder(rank));
         Comm {
             universe: Arc::clone(self),
             rank,
             seq: AtomicU64::new(0),
             send_seq: AtomicU64::new(0),
             limbo: Mutex::new(Vec::new()),
+            recorder,
         }
     }
 
@@ -412,11 +450,6 @@ impl Universe {
     /// Accumulated element counts reported via [`Comm::send_counted`].
     pub fn element_count(&self) -> u64 {
         self.elements_sent.load(Ordering::Relaxed) // lint:relaxed-ok: diagnostic-only counter
-    }
-
-    /// Number of messages discarded by fault injection.
-    pub fn dropped_count(&self) -> u64 {
-        self.messages_dropped.load(Ordering::Relaxed) // lint:relaxed-ok: diagnostic-only counter
     }
 
     /// Marks the whole universe failed with `err` (the first poison wins)
@@ -458,6 +491,13 @@ impl Universe {
     pub fn watchdog_deadline(&self) -> Option<Duration> {
         self.deadline
     }
+
+    /// The observability registry, if recording is enabled. External
+    /// observers may snapshot `obs().progress()` while the run is in
+    /// flight; `obs().report()` is for after the PEs have joined.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
 }
 
 /// One sender-side limbo queue: messages for `(dst, tag)` held back by
@@ -483,6 +523,9 @@ pub struct Comm {
     /// Uncontended: only this PE's thread touches it; the lock exists so
     /// `Comm` stays `Sync` for the scoped-thread runner.
     limbo: Mutex<Vec<LimboQueue>>,
+    /// This PE's observation handle (disabled unless the universe carries
+    /// an `Obs` registry).
+    recorder: Recorder,
 }
 
 impl Drop for Comm {
@@ -520,6 +563,13 @@ impl Comm {
         &self.universe
     }
 
+    /// This PE's observation recorder. Disabled (every hook one branch)
+    /// unless the universe was built with an [`Obs`] registry.
+    #[inline]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Sends `msg` to PE `dst` with `tag`. Never blocks.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, msg: T) {
         self.send_counted(dst, tag, msg, 1);
@@ -538,6 +588,9 @@ impl Comm {
             .elements_sent
             .fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
         let payload = pack(msg);
+        if self.recorder.is_enabled() {
+            self.recorder.on_send(tag, payload.wire_bytes());
+        }
         if let Some(hook) = self.universe.hook.clone() {
             self.chaos_send(&*hook, dst, tag, payload);
         } else {
@@ -588,17 +641,24 @@ impl Comm {
             match hook.on_send(self.rank, dst, tag, seq) {
                 SendFault::Deliver => self.deliver(dst, tag, payload),
                 SendFault::Drop => {
-                    self.universe
-                        .messages_dropped
-                        .fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: stats only
+                    // Drops are accounted per tag by the recorder (the
+                    // conservation tests subtract them); the payload is
+                    // simply discarded here.
+                    if self.recorder.is_enabled() {
+                        self.recorder.on_fault_drop(tag, payload.wire_bytes());
+                    }
                 }
-                SendFault::Delay { holds } => limbo.push(LimboQueue {
-                    dst,
-                    tag,
-                    holds: holds.max(1),
-                    msgs: VecDeque::from([payload]),
-                }),
+                SendFault::Delay { holds } => {
+                    self.recorder.on_fault_delay();
+                    limbo.push(LimboQueue {
+                        dst,
+                        tag,
+                        holds: holds.max(1),
+                        msgs: VecDeque::from([payload]),
+                    });
+                }
                 SendFault::Stall { micros } => {
+                    self.recorder.on_fault_stall();
                     std::thread::sleep(Duration::from_micros(micros));
                     self.deliver(dst, tag, payload);
                 }
@@ -695,15 +755,23 @@ impl Comm {
     ) -> Result<T, CommError> {
         self.pre_block();
         let mb = &self.universe.mailboxes[self.rank];
-        let start = deadline.map(|_| Instant::now());
+        let start = deadline.map(|_| Instant::now()); // lint:instant-ok: watchdog deadline
+        let mut wait_tok = None;
         let mut inner = mb.inner.lock();
         loop {
             if let Some(payload) = inner.by_src[src].take(tag) {
                 drop(inner);
+                self.recorder.end_wait(wait_tok);
+                if self.recorder.is_enabled() {
+                    self.recorder.on_recv(tag, payload.wire_bytes());
+                }
                 return Ok(unpack(payload, src, tag));
             }
             if let Some(err) = self.universe.poison_error() {
                 return Err(self.localize(err));
+            }
+            if wait_tok.is_none() {
+                wait_tok = self.recorder.start_wait();
             }
             match (deadline, start) {
                 (Some(limit), Some(t0)) => {
@@ -734,6 +802,9 @@ impl Comm {
         let mut inner = mb.inner.lock();
         let payload = inner.by_src[src].take(tag)?;
         drop(inner);
+        if self.recorder.is_enabled() {
+            self.recorder.on_recv(tag, payload.wire_bytes());
+        }
         Some(unpack(payload, src, tag))
     }
 
@@ -745,18 +816,26 @@ impl Comm {
         self.pre_block();
         let mb = &self.universe.mailboxes[self.rank];
         let deadline = self.universe.deadline;
-        let start = deadline.map(|_| Instant::now());
+        let start = deadline.map(|_| Instant::now()); // lint:instant-ok: watchdog deadline
+        let mut wait_tok = None;
         let mut inner = mb.inner.lock();
         loop {
             let size = inner.by_src.len();
             for src in 0..size {
                 if let Some(payload) = inner.by_src[src].take(tag) {
                     drop(inner);
+                    self.recorder.end_wait(wait_tok);
+                    if self.recorder.is_enabled() {
+                        self.recorder.on_recv(tag, payload.wire_bytes());
+                    }
                     return (src, unpack(payload, src, tag));
                 }
             }
             if let Some(err) = self.universe.poison_error() {
                 std::panic::panic_any(CommAbort(self.localize(err)));
+            }
+            if wait_tok.is_none() {
+                wait_tok = self.recorder.start_wait();
             }
             match (deadline, start) {
                 (Some(limit), Some(t0)) => {
@@ -798,6 +877,11 @@ impl Comm {
                 }
             }
         }
+        if self.recorder.is_enabled() {
+            for (_, payload) in &raw {
+                self.recorder.on_recv(tag, payload.wire_bytes());
+            }
+        }
         raw.into_iter()
             .map(|(src, payload)| (src, unpack(payload, src, tag)))
             .collect()
@@ -809,6 +893,9 @@ impl Comm {
     /// block (rounds) are the caller's to assign and can never collide with
     /// another call's tags.
     pub fn fresh_tag_block(&self) -> Tag {
+        // Phase boundary: publish this PE's running comm totals so external
+        // observers can watch progress without locking the recorder cells.
+        self.recorder.publish_progress();
         // `seq` is per-Comm and each Comm is owned by one PE thread, so
         // there is no cross-thread ordering to establish.
         let s = self.seq.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: single-owner counter
@@ -1073,6 +1160,7 @@ mod chaos_tests {
         // Delay injection reorders across tags but must never reorder
         // within a (src, tag) stream — receivers see identical payloads.
         let cfg = RunConfig {
+            obs: None,
             deadline: Some(Duration::from_secs(5)),
             fault_hook: Some(Arc::new(DelayEveryNth { n: 3, holds: 2 })),
         };
@@ -1104,6 +1192,7 @@ mod chaos_tests {
     #[test]
     fn dropped_message_times_out_structurally() {
         let cfg = RunConfig {
+            obs: None,
             deadline: Some(Duration::from_millis(60)),
             fault_hook: Some(Arc::new(DropOne {
                 src: 0,
@@ -1138,6 +1227,7 @@ mod chaos_tests {
         // Rank 1 dies at its first phase; rank 0 parks in a receive that
         // can never complete and must unwind with PeerDead promptly.
         let cfg = RunConfig {
+            obs: None,
             deadline: Some(Duration::from_secs(5)),
             fault_hook: Some(Arc::new(KillAt { rank: 1, phase: 0 })),
         };
@@ -1169,7 +1259,9 @@ mod chaos_tests {
 
     #[test]
     fn drop_counter_tracks_injected_drops() {
+        let obs = Obs::new(2);
         let cfg = RunConfig {
+            obs: Some(Arc::clone(&obs)),
             deadline: None,
             fault_hook: Some(Arc::new(DropOne {
                 src: 0,
@@ -1185,10 +1277,13 @@ mod chaos_tests {
                 assert_eq!(comm.recv::<u64>(0, 100), 2);
                 assert!(comm.try_recv::<u64>(0, 99).is_none());
             }
-            comm.universe().dropped_count()
         });
         for r in results {
-            assert_eq!(r.expect("run succeeds"), 1);
+            r.expect("run succeeds");
         }
+        let report = obs.report();
+        let dropped = report.total_dropped_per_tag();
+        assert_eq!(dropped.get(&99).map(|c| c.msgs), Some(1));
+        assert!(!dropped.contains_key(&100), "delivered tag must not count");
     }
 }

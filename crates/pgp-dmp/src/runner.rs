@@ -9,6 +9,7 @@
 //! surfaces as `Err(CommError)` per PE instead of a crash.
 
 use crate::comm::{Comm, CommAbort, CommError, FaultHook, Universe};
+use pgp_obs::Obs;
 use std::any::Any;
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +26,10 @@ pub struct RunConfig {
     /// Fault-injection oracle (see [`FaultHook`] and the `pgp-chaos`
     /// crate). `None` is the zero-overhead fault-free path.
     pub fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Observability registry (see `pgp-obs`). When set, every PE's comm
+    /// traffic and phase spans are recorded into it; `None` keeps every
+    /// recorder hook to a single branch. Must be sized for exactly `p` PEs.
+    pub obs: Option<Arc<Obs>>,
 }
 
 /// Per-PE outcome of one thread: finished value, structured comm failure,
@@ -135,7 +140,10 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    run_universe(Universe::with_chaos(p, cfg.deadline, cfg.fault_hook), f)
+    run_universe(
+        Universe::with_config(p, cfg.deadline, cfg.fault_hook, cfg.obs),
+        f,
+    )
 }
 
 /// Like [`run`], but hands each PE a mutable per-rank seed value derived
@@ -287,6 +295,7 @@ mod tests {
     #[test]
     fn watchdog_times_out_instead_of_hanging() {
         let cfg = RunConfig {
+            obs: None,
             deadline: Some(Duration::from_millis(50)),
             fault_hook: None,
         };

@@ -204,6 +204,7 @@ pub fn parallel_sclp_cluster_with_scratch(
 
     let mut stats = SclpStats::default();
     for _round in 0..iterations {
+        let _round_span = comm.recorder().span("sclp_round");
         let mut moved = 0u64;
         for &v in order.iter() {
             if graph.degree(v) == 0 {
@@ -313,6 +314,7 @@ pub fn parallel_sclp_refine_with_scratch(
     blocks: &mut [Node],
     scratch: &mut SclpScratch,
 ) -> SclpStats {
+    let _refine_span = comm.recorder().span("refine");
     let n_local = graph.n_local();
     let n_all = n_local + graph.n_ghost();
     assert_eq!(blocks.len(), n_all, "blocks must cover owned + ghost nodes");
@@ -348,6 +350,7 @@ pub fn parallel_sclp_refine_with_scratch(
 
     let mut stats = SclpStats::default();
     for round in 0..iterations {
+        let _round_span = comm.recorder().span("sclp_round");
         order.shuffle(&mut rng);
         // Per-phase inflow budget: the block's remaining slack is split
         // across PEs (floor share + round-robin remainder, rotated per block

@@ -49,14 +49,10 @@ pub struct SclpConfig {
     pub seed: u64,
 }
 
-/// Outcome statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SclpStats {
-    /// Rounds actually executed (early exit on convergence).
-    pub rounds: usize,
-    /// Total node moves.
-    pub moves: u64,
-}
+/// Outcome statistics — the unified pass-metric type from `pgp-obs`
+/// (`rounds` = rounds actually executed with early exit on convergence,
+/// `moves` = total node moves, `gain` stays 0 for SCLP).
+pub type SclpStats = pgp_obs::PassStats;
 
 /// Runs size-constrained label propagation in place.
 ///

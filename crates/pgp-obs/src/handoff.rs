@@ -1,0 +1,92 @@
+//! The counter-flush handoff: a single-writer seqlock slot.
+//!
+//! Each PE publishes its running comm totals into its [`FlushSlot`] at
+//! phase barriers (`Comm::fresh_tag_block`). External observers — the
+//! deadlock watchdog, a progress display — snapshot the pair without
+//! touching the owner's cell mutex, which the owner may hold mid-record.
+//!
+//! The algorithm is a classic seqlock specialized to a single writer: the
+//! writer brackets its stores with two counter increments (odd = write in
+//! progress), the reader retries until it observes the same even counter
+//! before and after loading the data words. All fields are atomics, so
+//! there is no UB-level tearing to begin with; the seqlock adds *pair*
+//! consistency — a successful snapshot is always some published
+//! `(msgs, bytes)` pair, never a mix of two publishes.
+//!
+//! `SeqCst` throughout: publishes happen once per phase (cold), and the
+//! simpler ordering argument is worth more than the saved fence. A loom
+//! model of this handoff lives in `tests/handoff.rs` behind `cfg(loom)`
+//! (loom is not in the offline vendor set; the model documents the
+//! interleaving argument and runs where loom is available).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Single-writer seqlock publishing a `(msgs, bytes)` pair.
+#[derive(Debug, Default)]
+pub struct FlushSlot {
+    /// Even = stable, odd = publish in progress.
+    seq: AtomicU64,
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl FlushSlot {
+    /// A fresh slot holding `(0, 0)`.
+    pub const fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            msgs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new pair. Must only be called by the slot's owner
+    /// thread (single-writer invariant; concurrent publishers would
+    /// interleave their odd/even brackets and livelock readers).
+    pub fn publish(&self, msgs: u64, bytes: u64) {
+        self.seq.fetch_add(1, Ordering::SeqCst); // -> odd
+        self.msgs.store(msgs, Ordering::SeqCst);
+        self.bytes.store(bytes, Ordering::SeqCst);
+        self.seq.fetch_add(1, Ordering::SeqCst); // -> even
+    }
+
+    /// One snapshot attempt: `None` if a publish was in flight.
+    pub fn try_snapshot(&self) -> Option<(u64, u64)> {
+        let s1 = self.seq.load(Ordering::SeqCst);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let msgs = self.msgs.load(Ordering::SeqCst);
+        let bytes = self.bytes.load(Ordering::SeqCst);
+        if self.seq.load(Ordering::SeqCst) != s1 {
+            return None;
+        }
+        Some((msgs, bytes))
+    }
+
+    /// Snapshot, retrying until consistent. The writer's critical section
+    /// is three stores, so this converges immediately in practice.
+    pub fn snapshot(&self) -> (u64, u64) {
+        loop {
+            if let Some(pair) = self.try_snapshot() {
+                return pair;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_snapshot() {
+        let slot = FlushSlot::new();
+        assert_eq!(slot.snapshot(), (0, 0));
+        slot.publish(3, 96);
+        assert_eq!(slot.snapshot(), (3, 96));
+        slot.publish(7, 224);
+        assert_eq!(slot.try_snapshot(), Some((7, 224)));
+    }
+}

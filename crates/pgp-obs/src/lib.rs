@@ -1,0 +1,55 @@
+//! Observability layer for the ParHIP reproduction (ISSUE 4).
+//!
+//! The paper's experimental section (Sec. V of arXiv:1404.4797) reports
+//! per-phase behavior — coarsening levels, SCLP iterations, communication
+//! volume, balance over V-cycles — that the pipeline must be able to
+//! surface without perturbing the measurement. This crate provides:
+//!
+//! - [`Obs`]/[`Recorder`]: a run-wide registry with one observation cell
+//!   per PE. Each PE thread records into its own cell (single-writer, so
+//!   the `parking_lot` mutexes are uncontended); the report is assembled
+//!   after the PEs have joined. A disabled [`Recorder`] is a `None` — every
+//!   hook is a single branch, which keeps the hot path within noise when
+//!   observability is off.
+//! - Span timers ([`Recorder::span`]): RAII-guarded, path-keyed
+//!   (`vcycle/coarsen/contract`), with strict nesting discipline —
+//!   a mismatched exit is dropped and counted, never corrupts the stack.
+//! - Comm counters ([`Recorder::on_send`] etc.): messages/bytes per tag on
+//!   both the send and receive side, collective invocation counts,
+//!   receive-wait time, and chaos fault counters (delayed/stalled/dropped).
+//!   These enable conservation assertions (Σ sent − Σ dropped == Σ
+//!   received, per tag) that were previously unwritable.
+//! - Structural metrics ([`LevelMetrics`], [`RefineMetrics`]): the
+//!   per-level quantities the SEA'14 companion paper (arXiv:1402.3281)
+//!   uses to diagnose quality — nodes/edges/ghosts after each contraction,
+//!   cut and imbalance after each refinement pass.
+//! - [`RunReport`]: a schema-versioned, hand-rolled JSON report (no serde
+//!   in the offline vendor set) with fully deterministic field ordering;
+//!   `to_json(true)` zeroes every timing field so reports from runs with
+//!   the same seed and config compare byte-for-byte.
+//! - [`FlushSlot`]: the lock-free single-writer seqlock used to publish a
+//!   PE's running totals at phase barriers so an external observer (the
+//!   deadlock watchdog, a progress display) can snapshot without touching
+//!   the owner's cell mutex.
+//! - [`PassStats`]: the unified local-search outcome type that replaces
+//!   the previously duplicated `SclpStats`/`FmStats`.
+//!
+//! Raw `Instant::now()` in `crates/{core,pgp-dmp,pgp-lp}` is confined to
+//! this crate's seam by `cargo xtask lint` rule 7 (`instant-now`): time is
+//! taken inside [`Recorder`]/[`WaitToken`], so algorithm and comm code
+//! never handle clocks directly.
+
+mod handoff;
+mod json;
+mod metrics;
+mod recorder;
+mod report;
+
+pub use handoff::FlushSlot;
+pub use json::JsonValue;
+pub use metrics::{LevelMetrics, PassStats, PhaseStat, RefineMetrics, TagCounter};
+pub use recorder::{Obs, Recorder, SpanGuard, WaitToken};
+pub use report::{
+    Aggregate, CollectiveEntry, CommReport, PeReport, PhaseEntry, RunReport, TagEntry,
+    SCHEMA_VERSION,
+};

@@ -1,0 +1,110 @@
+//! Plain metric value types shared across the workspace.
+
+/// Outcome statistics for one local-search pass (SCLP clustering, SCLP
+/// refinement, or sequential FM). Unifies the former `SclpStats` and
+/// `FmStats` duplicates: both are "how many rounds ran, how many moves
+/// were applied, what total gain" — FM reports gain, SCLP leaves it 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Rounds (label-propagation iterations or FM passes) executed.
+    pub rounds: usize,
+    /// Node moves applied across all rounds.
+    pub moves: u64,
+    /// Total cut gain achieved (FM only; SCLP reports 0).
+    pub gain: i64,
+}
+
+/// Messages/bytes observed for one tag on one side (send or receive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagCounter {
+    /// Number of messages.
+    pub msgs: u64,
+    /// Payload wire bytes (element count × element size; identical on the
+    /// send and receive side of the same message, which is what makes the
+    /// conservation assertion exact).
+    pub bytes: u64,
+}
+
+impl TagCounter {
+    /// Accumulates one message of `bytes` payload bytes.
+    pub fn add(&mut self, bytes: u64) {
+        self.msgs += 1;
+        self.bytes += bytes;
+    }
+}
+
+/// Aggregated timing for one span path (e.g. `vcycle/coarsen/contract`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closures.
+    pub total_ns: u64,
+}
+
+/// Structural snapshot of one hierarchy level, recorded after the
+/// contraction that produced it (coarsen loop).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelMetrics {
+    /// V-cycle index (absolute, so resumed runs line up).
+    pub cycle: u32,
+    /// Level index within the cycle (0 = first coarse level).
+    pub level: u32,
+    /// Global node count of the coarse graph.
+    pub n_global: u64,
+    /// Global (undirected) edge count of the coarse graph.
+    pub m_global: u64,
+    /// Nodes owned by this PE.
+    pub n_local: u64,
+    /// Ghost (halo) nodes replicated on this PE.
+    pub n_ghost: u64,
+}
+
+impl LevelMetrics {
+    /// Builds a snapshot from loop indices. `cycle` and `level` are tiny
+    /// (V-cycle and hierarchy-depth counters); values beyond `u32::MAX`
+    /// saturate rather than panic.
+    pub fn at(
+        cycle: usize,
+        level: usize,
+        n_global: u64,
+        m_global: u64,
+        n_local: u64,
+        n_ghost: u64,
+    ) -> Self {
+        Self {
+            cycle: u32::try_from(cycle).unwrap_or(u32::MAX),
+            level: u32::try_from(level).unwrap_or(u32::MAX),
+            n_global,
+            m_global,
+            n_local,
+            n_ghost,
+        }
+    }
+}
+
+/// Quality snapshot after one refinement pass during uncoarsening.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RefineMetrics {
+    /// V-cycle index (absolute).
+    pub cycle: u32,
+    /// Hierarchy level the pass refined (0 = finest).
+    pub level: u32,
+    /// Global edge cut after the pass.
+    pub cut: u64,
+    /// Imbalance ε′ = max_b w(b) / ⌈w(V)/k⌉ − 1 after the pass.
+    pub imbalance: f64,
+}
+
+impl RefineMetrics {
+    /// Builds a snapshot from loop indices (saturating, as
+    /// [`LevelMetrics::at`]).
+    pub fn at(cycle: usize, level: usize, cut: u64, imbalance: f64) -> Self {
+        Self {
+            cycle: u32::try_from(cycle).unwrap_or(u32::MAX),
+            level: u32::try_from(level).unwrap_or(u32::MAX),
+            cut,
+            imbalance,
+        }
+    }
+}

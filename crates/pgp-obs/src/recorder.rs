@@ -1,0 +1,445 @@
+//! The per-PE recorder and the run-wide observation registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::handoff::FlushSlot;
+use crate::metrics::{LevelMetrics, PhaseStat, RefineMetrics, TagCounter};
+use crate::report::{Aggregate, PeReport, RunReport, SCHEMA_VERSION};
+
+/// Run-wide observation registry: one cell per PE.
+///
+/// Created once per observed run ([`Obs::new`]); each PE thread gets a
+/// [`Recorder`] handle onto its own cell via [`Obs::recorder`]. Cells are
+/// single-writer — only the owning PE thread records — so the mutexes are
+/// uncontended; [`Obs::report`] locks them after the PEs have joined.
+pub struct Obs {
+    cells: Vec<Mutex<PeState>>,
+    /// Seqlock progress slots, published at phase barriers and readable
+    /// by external observers while the run is in flight.
+    progress: Vec<FlushSlot>,
+}
+
+/// All observations of one PE. Single-writer by the owning thread.
+#[derive(Default)]
+pub(crate) struct PeState {
+    /// Open spans, innermost last.
+    stack: Vec<OpenSpan>,
+    /// Closed-span aggregates keyed by full path (`a/b/c`).
+    pub(crate) phases: BTreeMap<String, PhaseStat>,
+    /// Span exits whose name did not match the innermost open span;
+    /// dropped rather than applied, counted here for the report.
+    pub(crate) orphan_exits: u64,
+    /// Messages/bytes sent, per tag.
+    pub(crate) sent: BTreeMap<u64, TagCounter>,
+    /// Messages/bytes received, per tag.
+    pub(crate) recvd: BTreeMap<u64, TagCounter>,
+    /// Messages/bytes dropped by fault injection, per tag.
+    pub(crate) dropped: BTreeMap<u64, TagCounter>,
+    /// Collective invocation counts by name.
+    pub(crate) collectives: BTreeMap<&'static str, u64>,
+    /// Nanoseconds spent blocked in receive waits.
+    pub(crate) recv_wait_ns: u64,
+    /// Sends held in a limbo queue by fault injection.
+    pub(crate) delayed: u64,
+    /// Sends stalled (slept) by fault injection.
+    pub(crate) stalled: u64,
+    /// Per-level structural snapshots, in recording order.
+    pub(crate) levels: Vec<LevelMetrics>,
+    /// Per-refinement-pass quality snapshots, in recording order.
+    pub(crate) refinements: Vec<RefineMetrics>,
+    /// Running totals mirrored into the progress seqlock.
+    msgs_sent_total: u64,
+    bytes_sent_total: u64,
+}
+
+struct OpenSpan {
+    /// Full path of this span (`parent_path/name`).
+    path: String,
+    /// Last path segment, for exit matching.
+    name: &'static str,
+    start: Instant,
+}
+
+impl Obs {
+    /// A registry for a `p`-PE run.
+    pub fn new(p: usize) -> Arc<Self> {
+        Arc::new(Self {
+            cells: (0..p).map(|_| Mutex::new(PeState::default())).collect(),
+            progress: (0..p).map(|_| FlushSlot::new()).collect(),
+        })
+    }
+
+    /// Number of PEs this registry observes.
+    pub fn p(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The recorder handle for `rank`'s cell.
+    pub fn recorder(self: &Arc<Self>, rank: usize) -> Recorder {
+        assert!(rank < self.cells.len(), "obs recorder rank out of range");
+        Recorder {
+            inner: Some(Inner {
+                obs: Arc::clone(self),
+                rank,
+            }),
+        }
+    }
+
+    /// Sums the progress seqlocks: `(messages, bytes)` sent so far across
+    /// all PEs, as of each PE's last phase barrier. Safe to call while the
+    /// run is in flight (lock-free).
+    pub fn progress(&self) -> (u64, u64) {
+        let mut msgs = 0;
+        let mut bytes = 0;
+        for slot in &self.progress {
+            let (m, b) = slot.snapshot();
+            msgs += m;
+            bytes += b;
+        }
+        (msgs, bytes)
+    }
+
+    /// Assembles the run report. Call after the PE threads have joined
+    /// (open spans are not counted).
+    pub fn report(&self) -> RunReport {
+        let per_pe: Vec<PeReport> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(rank, cell)| PeReport::from_state(rank, &cell.lock()))
+            .collect();
+        let aggregate = Aggregate::from_per_pe(&per_pe);
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            p: self.cells.len(),
+            per_pe,
+            aggregate,
+        }
+    }
+}
+
+/// Handle through which one PE thread records observations.
+///
+/// A disabled recorder ([`Recorder::disabled`]) turns every hook into a
+/// single `Option` branch — the hot path stays within noise. Enabledness
+/// is uniform across a run (all PEs of a universe share it), so code may
+/// gate extra *collective* work on [`Recorder::is_enabled`] without
+/// risking an SPMD mismatch.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Inner>,
+}
+
+#[derive(Clone)]
+struct Inner {
+    obs: Arc<Obs>,
+    rank: usize,
+}
+
+impl Inner {
+    fn with<R>(&self, f: impl FnOnce(&mut PeState) -> R) -> R {
+        f(&mut self.obs.cells[self.rank].lock())
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder (observability off).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether observations are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; close it with the returned guard (or a matching
+    /// [`Recorder::exit`]). Span names must not contain `/` — paths are
+    /// `/`-joined.
+    #[inline]
+    pub fn span<'a>(&'a self, name: &'static str) -> SpanGuard<'a> {
+        self.enter(name);
+        SpanGuard { rec: self, name }
+    }
+
+    /// Opens a span without a guard. Prefer [`Recorder::span`]; this form
+    /// exists for callers whose enter/exit points cannot share a scope
+    /// (and for the nesting proptest, which drives arbitrary sequences).
+    #[inline]
+    pub fn enter(&self, name: &'static str) {
+        if let Some(inner) = &self.inner {
+            debug_assert!(!name.contains('/'), "span names must not contain '/'");
+            let start = Instant::now();
+            inner.with(|st| {
+                let path = match st.stack.last() {
+                    Some(top) => format!("{}/{name}", top.path),
+                    None => name.to_string(),
+                };
+                st.stack.push(OpenSpan { path, name, start });
+            });
+        }
+    }
+
+    /// Closes the innermost span if its name matches; a mismatch (orphan
+    /// exit) is dropped and counted, never unwinds other spans.
+    #[inline]
+    pub fn exit(&self, name: &'static str) {
+        if let Some(inner) = &self.inner {
+            let now = Instant::now();
+            inner.with(|st| match st.stack.last() {
+                Some(top) if top.name == name => {
+                    let span = st.stack.pop().expect("non-empty: just matched");
+                    let elapsed = now.duration_since(span.start);
+                    let stat = st.phases.entry(span.path).or_default();
+                    stat.count += 1;
+                    // lint note: u128 -> u64 saturation; a span would need
+                    // to stay open ~584 years to overflow.
+                    stat.total_ns += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                }
+                _ => st.orphan_exits += 1,
+            });
+        }
+    }
+
+    /// Total recorded seconds of all closed spans whose final path
+    /// segment equals `name` (e.g. `coarsen` matches `vcycle/coarsen`).
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        match &self.inner {
+            None => 0.0,
+            Some(inner) => inner.with(|st| {
+                st.phases
+                    .iter()
+                    .filter(|(path, _)| path.rsplit('/').next() == Some(name))
+                    .map(|(_, stat)| stat.total_ns as f64 / 1e9)
+                    .sum()
+            }),
+        }
+    }
+
+    /// Counts one invocation of the named collective.
+    #[inline]
+    pub fn count_collective(&self, name: &'static str) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| *st.collectives.entry(name).or_insert(0) += 1);
+        }
+    }
+
+    /// Records one sent message of `bytes` payload bytes on `tag`.
+    #[inline]
+    pub fn on_send(&self, tag: u64, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| {
+                st.sent.entry(tag).or_default().add(bytes);
+                st.msgs_sent_total += 1;
+                st.bytes_sent_total += bytes;
+            });
+        }
+    }
+
+    /// Records one received message of `bytes` payload bytes on `tag`.
+    #[inline]
+    pub fn on_recv(&self, tag: u64, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.recvd.entry(tag).or_default().add(bytes));
+        }
+    }
+
+    /// Records one message dropped by fault injection.
+    #[inline]
+    pub fn on_fault_drop(&self, tag: u64, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.dropped.entry(tag).or_default().add(bytes));
+        }
+    }
+
+    /// Records one send held in a limbo queue by fault injection.
+    #[inline]
+    pub fn on_fault_delay(&self) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.delayed += 1);
+        }
+    }
+
+    /// Records one send stalled (slept) by fault injection.
+    #[inline]
+    pub fn on_fault_stall(&self) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.stalled += 1);
+        }
+    }
+
+    /// Starts timing a receive wait. Returns `None` when disabled; pass
+    /// the token to [`Recorder::end_wait`] once the message arrived.
+    #[inline]
+    pub fn start_wait(&self) -> Option<WaitToken> {
+        self.inner.as_ref().map(|_| WaitToken {
+            start: Instant::now(),
+        })
+    }
+
+    /// Ends a receive wait started by [`Recorder::start_wait`].
+    #[inline]
+    pub fn end_wait(&self, token: Option<WaitToken>) {
+        if let (Some(inner), Some(token)) = (&self.inner, token) {
+            let ns = u64::try_from(token.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.with(|st| st.recv_wait_ns += ns);
+        }
+    }
+
+    /// Records a per-level structural snapshot.
+    #[inline]
+    pub fn record_level(&self, level: LevelMetrics) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.levels.push(level));
+        }
+    }
+
+    /// Records a per-refinement-pass quality snapshot.
+    #[inline]
+    pub fn record_refine(&self, refine: RefineMetrics) {
+        if let Some(inner) = &self.inner {
+            inner.with(|st| st.refinements.push(refine));
+        }
+    }
+
+    /// Publishes this PE's running send totals into its progress seqlock.
+    /// Called at phase barriers (`fresh_tag_block`); see [`FlushSlot`].
+    #[inline]
+    pub fn publish_progress(&self) {
+        if let Some(inner) = &self.inner {
+            let (msgs, bytes) = inner.with(|st| (st.msgs_sent_total, st.bytes_sent_total));
+            inner.obs.progress[inner.rank].publish(msgs, bytes);
+        }
+    }
+}
+
+/// Times a receive wait; created by [`Recorder::start_wait`].
+pub struct WaitToken {
+    start: Instant,
+}
+
+/// RAII guard closing a span opened by [`Recorder::span`].
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.exit(self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let g = rec.span("a");
+        rec.on_send(1, 10);
+        rec.count_collective("barrier");
+        let tok = rec.start_wait();
+        assert!(tok.is_none());
+        rec.end_wait(tok);
+        drop(g);
+        assert_eq!(rec.phase_seconds("a"), 0.0);
+    }
+
+    #[test]
+    fn spans_nest_by_path() {
+        let obs = Obs::new(1);
+        let rec = obs.recorder(0);
+        {
+            let _cycle = rec.span("vcycle");
+            {
+                let _c = rec.span("coarsen");
+                let _k = rec.span("contract");
+            }
+            let _u = rec.span("uncoarsen");
+        }
+        let report = obs.report();
+        let paths: Vec<&str> = report.per_pe[0]
+            .phases
+            .iter()
+            .map(|p| p.path.as_str())
+            .collect();
+        assert_eq!(
+            paths,
+            [
+                "vcycle",
+                "vcycle/coarsen",
+                "vcycle/coarsen/contract",
+                "vcycle/uncoarsen"
+            ]
+        );
+        assert!(rec.phase_seconds("coarsen") >= rec.phase_seconds("contract"));
+        assert_eq!(report.per_pe[0].orphan_exits, 0);
+    }
+
+    #[test]
+    fn orphan_exit_is_dropped_not_applied() {
+        let obs = Obs::new(1);
+        let rec = obs.recorder(0);
+        rec.enter("a");
+        rec.exit("b"); // orphan: innermost is "a"
+        rec.exit("a");
+        rec.exit("a"); // orphan: stack empty
+        let report = obs.report();
+        assert_eq!(report.per_pe[0].orphan_exits, 2);
+        assert_eq!(report.per_pe[0].phases.len(), 1);
+        assert_eq!(report.per_pe[0].phases[0].path, "a");
+        assert_eq!(report.per_pe[0].phases[0].count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_per_tag() {
+        let obs = Obs::new(2);
+        let r0 = obs.recorder(0);
+        let r1 = obs.recorder(1);
+        r0.on_send(7, 16);
+        r0.on_send(7, 8);
+        r1.on_recv(7, 16);
+        r1.on_recv(7, 8);
+        r0.count_collective("barrier");
+        r0.on_fault_delay();
+        let report = obs.report();
+        let sent = &report.per_pe[0].comm.sent;
+        assert_eq!(sent.len(), 1);
+        assert_eq!((sent[0].tag, sent[0].msgs, sent[0].bytes), (7, 2, 24));
+        let recvd = &report.per_pe[1].comm.recvd;
+        assert_eq!((recvd[0].msgs, recvd[0].bytes), (2, 24));
+        assert_eq!(report.per_pe[0].comm.delayed, 1);
+        assert_eq!(report.aggregate.messages, 2);
+        assert_eq!(report.aggregate.bytes, 24);
+    }
+
+    #[test]
+    fn progress_tracks_publishes() {
+        let obs = Obs::new(2);
+        let r0 = obs.recorder(0);
+        r0.on_send(1, 100);
+        assert_eq!(obs.progress(), (0, 0), "not yet published");
+        r0.publish_progress();
+        assert_eq!(obs.progress(), (1, 100));
+    }
+
+    #[test]
+    fn wait_tokens_accumulate() {
+        let obs = Obs::new(1);
+        let rec = obs.recorder(0);
+        let tok = rec.start_wait();
+        assert!(tok.is_some());
+        rec.end_wait(tok);
+        let report = obs.report();
+        assert!(report.per_pe[0].comm.recv_wait_s >= 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the span stack discipline.
+//!
+//! The recorder must stay well-formed under *arbitrary* interleaved
+//! enter/exit sequences — not just the RAII-guarded ones real
+//! instrumentation produces. Property: exits that do not match the
+//! innermost open span are dropped (counted as orphans, never applied),
+//! the recorded phase counts equal a reference stack model's, and with
+//! every instance closed the time of a parent's direct children never
+//! exceeds the parent's own time (children are disjoint subintervals).
+
+use std::collections::BTreeMap;
+
+use pgp_obs::Obs;
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Enter(usize),
+    Exit(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..2, 0..NAMES.len()).prop_map(
+        |(kind, i)| {
+            if kind == 0 {
+                Op::Enter(i)
+            } else {
+                Op::Exit(i)
+            }
+        },
+    )
+}
+
+/// Reference model: the same stack discipline, tracking only structure.
+#[derive(Default)]
+struct Model {
+    stack: Vec<(String, usize)>,
+    counts: BTreeMap<String, u64>,
+    orphans: u64,
+}
+
+impl Model {
+    fn enter(&mut self, name_idx: usize) {
+        let path = match self.stack.last() {
+            Some((p, _)) => format!("{p}/{}", NAMES[name_idx]),
+            None => NAMES[name_idx].to_string(),
+        };
+        self.stack.push((path, name_idx));
+    }
+
+    fn exit(&mut self, name_idx: usize) {
+        match self.stack.last() {
+            Some((_, top)) if *top == name_idx => {
+                let (path, _) = self.stack.pop().expect("non-empty: just matched");
+                *self.counts.entry(path).or_insert(0) += 1;
+            }
+            _ => self.orphans += 1,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_sequences_stay_well_formed(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let obs = Obs::new(1);
+        let rec = obs.recorder(0);
+        let mut model = Model::default();
+
+        for op in &ops {
+            match *op {
+                Op::Enter(i) => { rec.enter(NAMES[i]); model.enter(i); }
+                Op::Exit(i) => { rec.exit(NAMES[i]); model.exit(i); }
+            }
+        }
+        // Close every span still open (innermost first) so each instance
+        // is counted and the child-time inequality is meaningful.
+        while let Some((_, top)) = model.stack.last().cloned() {
+            rec.exit(NAMES[top]);
+            model.exit(top);
+        }
+
+        let report = obs.report();
+        let pe = &report.per_pe[0];
+
+        // 1. No orphan exit was applied; all were counted.
+        prop_assert_eq!(pe.orphan_exits, model.orphans);
+
+        // 2. Phase counts equal the reference model's, path for path.
+        let got: BTreeMap<String, u64> = pe
+            .phases
+            .iter()
+            .map(|p| (p.path.clone(), p.count))
+            .collect();
+        prop_assert_eq!(&got, &model.counts);
+
+        // 3. Child time ≤ parent time: every closed child instance is a
+        //    subinterval of a closed parent instance, and siblings are
+        //    disjoint, so per parent path the direct children's total
+        //    cannot exceed the parent's total.
+        let totals: BTreeMap<&str, f64> = pe
+            .phases
+            .iter()
+            .map(|p| (p.path.as_str(), p.total_s))
+            .collect();
+        for (path, &parent_total) in &totals {
+            let prefix = format!("{path}/");
+            let child_sum: f64 = totals
+                .iter()
+                .filter(|(p, _)| {
+                    p.starts_with(prefix.as_str()) && !p[prefix.len()..].contains('/')
+                })
+                .map(|(_, &t)| t)
+                .sum();
+            // 1 ns slack: totals are integral nanoseconds converted to
+            // f64 seconds, so rounding can differ in the last ulp.
+            prop_assert!(
+                child_sum <= parent_total + 1e-9,
+                "children of {} total {} > parent {}",
+                path,
+                child_sum,
+                parent_total
+            );
+        }
+    }
+}

@@ -27,16 +27,10 @@ pub struct FmConfig {
     pub patience: usize,
 }
 
-/// Result of an FM run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FmStats {
-    /// Total cut improvement across all passes.
-    pub gain: i64,
-    /// Passes executed.
-    pub passes: usize,
-    /// Moves kept (after rollbacks).
-    pub moves: u64,
-}
+/// Result of an FM run — the unified pass-metric type from `pgp-obs`
+/// (`rounds` = passes executed, `moves` = moves kept after rollbacks,
+/// `gain` = total cut improvement across all passes).
+pub type FmStats = pgp_obs::PassStats;
 
 /// Runs k-way FM on `labels` (block IDs, in place). Returns statistics;
 /// the cut never increases and the block caps are never violated
@@ -58,7 +52,7 @@ pub fn kway_fm(graph: &CsrGraph, k: usize, labels: &mut [Node], cfg: &FmConfig) 
     let mut map = ClusterMap::with_max_degree(graph.max_degree().max(1));
 
     for _pass in 0..cfg.max_passes {
-        stats.passes += 1;
+        stats.rounds += 1;
         let gain = fm_pass(
             graph,
             k,

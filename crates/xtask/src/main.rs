@@ -30,6 +30,12 @@
 //!    code consulting the fault oracle would let injected faults leak into
 //!    program logic, silently turning chaos tests into self-fulfilling
 //!    prophecies.
+//! 7. **instant-now** — raw `Instant::now()` in the instrumented crates
+//!    (`crates/{core,pgp-dmp,pgp-lp}/src`) is forbidden (ISSUE 4): phase
+//!    timing must go through the `pgp-obs` Recorder spans so every timer
+//!    lands in the run report and is zeroable for golden comparisons. The
+//!    watchdog-deadline sites in `comm.rs` are the sanctioned exceptions,
+//!    marked `// lint:instant-ok: <reason>`.
 //!
 //! The scanner is line-based with comment/string stripping and skips
 //! `#[cfg(test)]` modules (test code may take shortcuts). It is
@@ -85,6 +91,14 @@ const CHAOS_HOOK_FILES: &[&str] = &[
 
 /// Fault-injection seam names restricted to [`CHAOS_HOOK_FILES`] (rule 6).
 const CHAOS_HOOK_TYPES: &[&str] = &["FaultHook", "SendFault"];
+
+/// Source trees where raw `Instant::now()` is confined to the pgp-obs seam
+/// (rule 7).
+const INSTANT_RESTRICTED_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/pgp-dmp/src/",
+    "crates/pgp-lp/src/",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -195,6 +209,9 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
     let csr_restricted = !CSR_OWNER_FILES.contains(&rel);
     let mailbox_restricted = rel != MAILBOX_OWNER_FILE;
     let chaos_restricted = !CHAOS_HOOK_FILES.contains(&rel);
+    let instant_restricted = INSTANT_RESTRICTED_PREFIXES
+        .iter()
+        .any(|p| rel.starts_with(p));
     let is_test_file = rel.starts_with("tests/") || rel.contains("/tests/");
 
     let mut depth: i32 = 0;
@@ -239,6 +256,7 @@ fn scan_file(file: &Path, rel: &str, text: &str, violations: &mut Vec<Violation>
                 csr_restricted,
                 mailbox_restricted,
                 chaos_restricted,
+                instant_restricted,
                 violations,
             );
         }
@@ -264,6 +282,7 @@ fn apply_rules(
     csr_restricted: bool,
     mailbox_restricted: bool,
     chaos_restricted: bool,
+    instant_restricted: bool,
     violations: &mut Vec<Violation>,
 ) {
     // Rule 1: id-cast.
@@ -352,6 +371,20 @@ fn apply_rules(
                 break;
             }
         }
+    }
+
+    // Rule 7: raw Instant::now() in the instrumented crates.
+    if instant_restricted && code.contains("Instant::now") && !raw_line.contains("lint:instant-ok")
+    {
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line: lineno,
+            rule: "instant-now",
+            message: "raw Instant::now() in an instrumented crate; phase timing must go \
+                      through the pgp-obs Recorder spans (justify non-metric timers with \
+                      `// lint:instant-ok: <reason>`)"
+                .to_string(),
+        });
     }
 }
 
@@ -568,6 +601,33 @@ mod tests {
             &mut v,
         );
         assert!(v.iter().all(|x| x.rule != "chaos-hooks"), "must pass");
+    }
+
+    #[test]
+    fn instant_now_confined_to_obs_seam() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   fn g() { let t = Instant::now(); } // lint:instant-ok: watchdog\n";
+        // Inside an instrumented crate: the unescaped use is flagged, the
+        // escaped one is not.
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/pgp-lp/src/par.rs"),
+            "crates/pgp-lp/src/par.rs",
+            src,
+            &mut v,
+        );
+        let hits: Vec<_> = v.iter().filter(|x| x.rule == "instant-now").collect();
+        assert_eq!(hits.len(), 1, "exactly the unescaped line");
+        assert_eq!(hits[0].line, 1);
+        // Outside the instrumented crates: clean.
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/bench/src/main.rs"),
+            "crates/bench/src/main.rs",
+            src,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "instant-now"), "must pass");
     }
 
     #[test]

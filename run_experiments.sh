@@ -20,4 +20,7 @@ run ./target/release/fig5_weak base_log=11 pmax=8 reps=2 seed=1
 run ./target/release/fig6_strong all pmax=8 seed=1 tier=small
 run ./target/release/coarsening_effectiveness tier=small p=4 seed=1
 run ./target/release/ablation all tier=small p=4 reps=2 seed=1
+# Observed reference run: phase/level/refinement tables to the log, full
+# schema-versioned RunReport JSON to results/ (see EXPERIMENTS.md).
+run ./target/release/partition graph=amazon tier=small k=4 p=4 seed=1 report=results/run_report.json
 echo "ALL EXPERIMENTS DONE" | tee -a "$LOG"

@@ -4,10 +4,17 @@
 //! ```text
 //! pgp-partition <graph.metis> k=8 [preset=fast|eco|minimal] [p=4]
 //!               [eps=0.03] [seed=0] [class=auto|social|mesh]
-//!               [output=<graph>.part.<k>]
+//!               [output=<graph>.part.<k>] [report=<file.json>]
 //! ```
+//!
+//! `report=<file.json>` (or `--report <file.json>`) runs with the
+//! observability recorder enabled and writes the schema-versioned JSON
+//! `RunReport` — per-PE phase timings, per-tag comm counters, per-level
+//! structural metrics (DESIGN.md §10, EXPERIMENTS.md for consuming it).
 
-use pgp::parhip::{partition_parallel, GraphClass, ParhipConfig, Preset};
+use pgp::parhip::{
+    partition_parallel, partition_parallel_observed, GraphClass, ParhipConfig, Preset,
+};
 use pgp::pgp_graph::io::{read_metis_file, write_partition};
 use pgp::pgp_graph::stats::GraphStats;
 use std::process::ExitCode;
@@ -18,11 +25,22 @@ fn arg(args: &[String], key: &str) -> Option<String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Normalize the conventional `--report <path>` spelling into the
+    // `key=value` form before positional-argument detection.
+    if let Some(i) = args.iter().position(|a| a == "--report") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --report requires a path argument");
+            return ExitCode::from(2);
+        }
+        let report_path = args.remove(i + 1);
+        args[i] = format!("report={report_path}");
+    }
     let Some(path) = args.iter().find(|a| !a.contains('=')) else {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
-             [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] [output=<file>]"
+             [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] [output=<file>] \
+             [report=<file.json>]"
         );
         return ExitCode::from(2);
     };
@@ -80,8 +98,19 @@ fn main() -> ExitCode {
 
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;
+    let report_path = arg(&args, "report");
     let t0 = std::time::Instant::now();
-    let (partition, stats) = partition_parallel(&graph, p, &cfg);
+    let (partition, stats) = if let Some(report_path) = &report_path {
+        let (partition, stats, report) = partition_parallel_observed(&graph, p, &cfg);
+        if let Err(e) = std::fs::write(report_path, report.to_json(false)) {
+            eprintln!("error writing {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote run report {report_path}");
+        (partition, stats)
+    } else {
+        partition_parallel(&graph, p, &cfg)
+    };
     eprintln!(
         "partitioned in {:.2}s wall: cut = {}, imbalance = {:.4} ({} levels, coarsest n = {})",
         t0.elapsed().as_secs_f64(),

@@ -16,6 +16,7 @@
 //! * [`pgp_evo`] — the distributed evolutionary algorithm (KaFFPaE).
 //! * [`parhip`] — the overall parallel system from the paper.
 //! * [`pgp_baselines`] — ParMetis-like, hash, and recursive-bisection baselines.
+//! * [`pgp_obs`] — observability: phase tracing, comm counters, run reports.
 
 pub use parhip;
 pub use pgp_baselines;
@@ -24,4 +25,5 @@ pub use pgp_evo;
 pub use pgp_gen;
 pub use pgp_graph;
 pub use pgp_lp;
+pub use pgp_obs;
 pub use pgp_seq;
