@@ -8,6 +8,11 @@
 //!    traffic the algorithms actually generate: per-peer tag backlogs
 //!    received out of order (exchange/collective pattern) plus an
 //!    in-order ping stream. Reported as messages/sec.
+//!
+//!    1b. **obs** — the same ping stream under each recorder mode
+//!    (disabled / report / trace): the disabled mode must sit within
+//!    noise of the plain comm ping (single-branch hooks), and the other
+//!    two quantify the cost of turning recording on.
 //! 2. **exchange** — `LabelExchange` phase throughput on an R-MAT graph:
 //!    every interface node records an update each phase. Reported as
 //!    updates/sec.
@@ -121,6 +126,46 @@ fn main() {
     }
     let comm_ping_msgs_per_s = (2 * ping_rounds) as f64 / ping_wall;
 
+    // ---- 1b. obs A/B: the same ping stream under each recorder mode ----
+    // The observability discipline promises a single-branch hot path when
+    // recording is off; `obs.disabled` vs the plain ping above must sit
+    // within noise, and `obs.report`/`obs.trace` quantify the cost of
+    // turning recording on (counters + histograms, then + event rings).
+    let ping_obs = |obs: Option<std::sync::Arc<pgp_obs::Obs>>| -> f64 {
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps {
+            let rc = pgp_dmp::RunConfig {
+                obs: obs.clone(),
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let results = pgp_dmp::run_config(2, rc, |comm| {
+                if comm.rank() == 0 {
+                    for i in 0..ping_rounds {
+                        comm.send(1, 7, vec![i]);
+                        let _: Vec<u64> = comm.recv(1, 9);
+                    }
+                } else {
+                    for _ in 0..ping_rounds {
+                        let v: Vec<u64> = comm.recv(0, 7);
+                        comm.send(0, 9, v);
+                    }
+                }
+            });
+            for r in results {
+                r.expect("fault-free ping cannot fail");
+            }
+            wall = wall.min(t0.elapsed().as_secs_f64());
+        }
+        (2 * ping_rounds) as f64 / wall
+    };
+    let obs_ping_disabled = ping_obs(None);
+    let obs_ping_report = ping_obs(Some(pgp_obs::Obs::new(2)));
+    let obs_ping_trace = ping_obs(Some(pgp_obs::Obs::with_trace(
+        2,
+        pgp_obs::DEFAULT_TRACE_CAPACITY,
+    )));
+
     // ---- shared R-MAT instance for exchange / sclp / end-to-end --------
     let g = pgp_gen::rmat::rmat_web(scale, 8, seed);
     eprintln!("[hotpath] rmat n = {}, m = {}", g.n(), g.m());
@@ -220,6 +265,8 @@ fn main() {
          \"comm\": {{ \"backlog_msgs_per_s\": {bpers:.0}, \"ping_msgs_per_s\": {ping:.0}, \
          \"backlog\": {backlog}, \"backlog_tags\": {backlog_tags}, \
          \"backlog_msgs\": {backlog_msgs} }},\n  \
+         \"obs\": {{ \"ping_disabled_msgs_per_s\": {opd:.0}, \
+         \"ping_report_msgs_per_s\": {opr:.0}, \"ping_trace_msgs_per_s\": {opt:.0} }},\n  \
          \"exchange\": {{ \"updates_per_s\": {exu:.0}, \"updates\": {exn}, \"phases\": {exp} }},\n  \
          \"sclp\": {{ \"cluster_round_s\": {cr:.6}, \"refine_round_s\": {rr:.6} }},\n  \
          \"end_to_end\": {{ \"wall_s\": {wall:.4}, \"cpu_max_s\": {cpum:.4}, \
@@ -229,6 +276,9 @@ fn main() {
         m = g.m(),
         bpers = comm_backlog_msgs_per_s,
         ping = comm_ping_msgs_per_s,
+        opd = obs_ping_disabled,
+        opr = obs_ping_report,
+        opt = obs_ping_trace,
         exu = exchange_updates_per_s,
         exn = exchange_updates,
         exp = exchange_phases,

@@ -1,32 +1,40 @@
 //! Single-run CLI for the parallel partitioner with the observability
 //! layer enabled: partitions one benchmark instance on `p` simulated PEs
-//! and (optionally) writes the schema-versioned JSON run report.
+//! and (optionally) writes the schema-versioned JSON run report and/or a
+//! Chrome-trace/Perfetto event timeline.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p bench --release --bin partition -- \
 //!     [graph=amazon] [tier=small] [k=4] [p=4] [seed=1] [preset=fast] \
-//!     [report=results/run_report.json]
+//!     [report=results/run_report.json] [trace=results/trace.json]
 //! ```
 //!
-//! `--report <path>` is accepted as an alias for `report=<path>`. The
-//! report format is documented in DESIGN.md §10; per-level tables can be
-//! regenerated from the JSON (see EXPERIMENTS.md).
+//! `--report <path>` / `--trace <path>` are accepted as aliases for the
+//! `key=value` forms. The report format is documented in DESIGN.md §10,
+//! the trace schema in DESIGN.md §11; per-level tables can be regenerated
+//! from the JSON (see EXPERIMENTS.md). Open a trace at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
 
 use bench::harness::parse_tier;
-use bench::{arg, arg_usize, report_level_table, report_phase_table, report_refine_table};
+use bench::{
+    arg, arg_usize, report_level_table, report_phase_table, report_refine_table,
+    report_straggler_table,
+};
 use parhip::{GraphClass, ParhipConfig, Preset};
 use pgp_gen::benchmark_set;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Normalize the conventional `--report <path>` spelling into the
+    // Normalize the conventional `--flag <path>` spellings into the
     // harness `key=value` form.
-    if let Some(i) = args.iter().position(|a| a == "--report") {
-        assert!(i + 1 < args.len(), "--report requires a path argument");
-        let path = args.remove(i + 1);
-        args[i] = format!("report={path}");
+    for flag in ["report", "trace"] {
+        if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
+            assert!(i + 1 < args.len(), "--{flag} requires a path argument");
+            let path = args.remove(i + 1);
+            args[i] = format!("{flag}={path}");
+        }
     }
     let name = arg(&args, "graph").unwrap_or_else(|| "amazon".to_string());
     let tier = parse_tier(arg(&args, "tier"));
@@ -54,7 +62,15 @@ fn main() {
         graph.m()
     );
 
-    let (partition, stats, report) = parhip::partition_parallel_observed(graph, p, &cfg);
+    let trace_path = arg(&args, "trace");
+    let (partition, stats, report, trace) = if trace_path.is_some() {
+        let (partition, stats, report, trace) =
+            parhip::partition_parallel_traced(graph, p, &cfg, None);
+        (partition, stats, report, Some(trace))
+    } else {
+        let (partition, stats, report) = parhip::partition_parallel_observed(graph, p, &cfg);
+        (partition, stats, report, None)
+    };
     println!(
         "cut = {}, imbalance = {:.4}, levels = {}, coarsest_n = {}",
         partition.edge_cut(graph),
@@ -65,18 +81,29 @@ fn main() {
     println!("\n{}", report_phase_table(&report).render());
     println!("{}", report_level_table(&report).render());
     println!("{}", report_refine_table(&report).render());
+    if let Some(trace) = &trace {
+        println!("{}", report_straggler_table(&report, trace).render());
+    }
     println!(
         "comm: {} messages, {} bytes, {} collective calls",
         report.aggregate.messages, report.aggregate.bytes, report.aggregate.collective_calls
     );
 
     if let Some(path) = arg(&args, "report") {
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create report directory");
-            }
-        }
-        std::fs::write(&path, report.to_json(false)).expect("write run report");
+        write_output(&path, &report.to_json(false));
         println!("[report {path}]");
     }
+    if let (Some(path), Some(trace)) = (trace_path, trace) {
+        write_output(&path, &pgp_obs::to_perfetto_json(&trace));
+        println!("[trace {path}]");
+    }
+}
+
+fn write_output(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(path, contents).expect("write output file");
 }

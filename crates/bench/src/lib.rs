@@ -259,6 +259,67 @@ pub fn report_phase_table(report: &pgp_obs::RunReport) -> Table {
     t
 }
 
+/// Straggler-attribution table from a [`pgp_obs::RunReport`] and the
+/// matching [`pgp_obs::RunTrace`]: per span path, the slowest PE's time
+/// against the median PE's time (skew = max/median), plus the top three
+/// peers blamed for receive waits inside that phase (from the trace's
+/// per-peer wait attribution). A phase whose skew is near 1 is balanced;
+/// a large skew with one dominant blamed peer names the straggler.
+pub fn report_straggler_table(report: &pgp_obs::RunReport, trace: &pgp_obs::RunTrace) -> Table {
+    let mut t = Table::new(&[
+        "phase",
+        "max_pe_s",
+        "max_pe",
+        "median_pe_s",
+        "skew",
+        "top_blamed_peers",
+    ]);
+    let blame = trace.phase_blame();
+    for ph in &report.aggregate.phases {
+        // Per-PE totals for this path (a PE missing the path contributes 0).
+        let mut times: Vec<(f64, usize)> = report
+            .per_pe
+            .iter()
+            .map(|pe| {
+                let s = pe
+                    .phases
+                    .iter()
+                    .find(|e| e.path == ph.path)
+                    .map_or(0.0, |e| e.total_s);
+                (s, pe.rank)
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let &(max_s, max_pe) = times.last().expect("at least one PE");
+        let median_s = times[times.len() / 2].0;
+        let skew = if median_s > 0.0 {
+            max_s / median_s
+        } else {
+            0.0
+        };
+        // Top-3 blamed peers by attributed wait inside this phase.
+        let peers = blame.get(&ph.path).map_or_else(String::new, |b| {
+            let mut ranked: Vec<(usize, u64)> = b.by_peer.iter().map(|(&p, &ns)| (p, ns)).collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranked
+                .iter()
+                .take(3)
+                .map(|(p, ns)| format!("pe{}:{:.3}s", p, *ns as f64 / 1e9))
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+        t.row(vec![
+            ph.path.clone(),
+            format!("{max_s:.4}"),
+            max_pe.to_string(),
+            format!("{median_s:.4}"),
+            format!("{skew:.2}"),
+            peers,
+        ]);
+    }
+    t
+}
+
 /// Parses harness CLI args of the form `key=value`; returns the value.
 pub fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()

@@ -46,6 +46,6 @@ pub use contract::{parallel_contract, parallel_project_blocks, ParContraction};
 pub use partitioner::{
     parhip_distributed, parhip_distributed_checkpointed, parhip_distributed_resume,
     parhip_distributed_with_input, partition_parallel, partition_parallel_observed,
-    partition_parallel_resume, partition_parallel_with_input, partition_parallel_with_store,
-    CheckpointStore, LevelSummary, ParhipStats, VCycleCheckpoint,
+    partition_parallel_resume, partition_parallel_traced, partition_parallel_with_input,
+    partition_parallel_with_store, CheckpointStore, LevelSummary, ParhipStats, VCycleCheckpoint,
 };

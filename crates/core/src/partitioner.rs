@@ -92,6 +92,11 @@ pub struct VCycleCheckpoint {
     pub graph_fingerprint: u64,
     /// [`ParhipConfig::fingerprint`] of the run's configuration.
     pub config_fingerprint: u64,
+    /// Nanoseconds elapsed on the run's trace epoch when the snapshot was
+    /// taken (0 when observation is disabled). A resumed run offsets its
+    /// trace clock by this amount so the stitched timeline of
+    /// original + resumed segments stays monotone.
+    pub elapsed_ns: u64,
 }
 
 /// In-memory store holding the latest [`VCycleCheckpoint`] of a run.
@@ -245,6 +250,9 @@ pub fn parhip_distributed_resume(
         graph.n_global(),
         "checkpoint assignment must cover every global node"
     );
+    // Continue the original run's trace clock: resumed events start where
+    // the snapshot left off instead of restarting at 0.
+    comm.recorder().resume_epoch(checkpoint.elapsed_ns);
     let n_all = graph.n_local() + graph.n_ghost();
     let blocks: Vec<Node> = (0..n_all)
         .map(|l| {
@@ -433,6 +441,7 @@ fn parhip_cycles(
                     .collect(),
                 graph_fingerprint: group_graph_fingerprint(comm, graph),
                 config_fingerprint: cfg.fingerprint(),
+                elapsed_ns: rec.epoch_elapsed_ns(),
             };
             #[cfg(feature = "validate")]
             crate::validate::assert_checkpoint_valid(comm, &checkpoint, "V-cycle checkpoint");
@@ -602,6 +611,49 @@ pub fn partition_parallel_observed(
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats, obs.report())
+}
+
+/// As [`partition_parallel_observed`], additionally recording a bounded
+/// per-PE event timeline ([`pgp_obs::RunTrace`]): span open/close,
+/// sends/receives with per-peer sequence numbers, per-peer receive waits,
+/// collective entry/exit, and fault incidents, all on one run-wide
+/// monotonic epoch. Export with [`pgp_obs::to_perfetto_json`] or analyze
+/// in-process (`RunTrace::phase_blame`) for straggler attribution.
+/// `trace_capacity` bounds each PE's ring (`None` uses
+/// [`pgp_obs::DEFAULT_TRACE_CAPACITY`]; overflow drops the newest events
+/// and counts them).
+pub fn partition_parallel_traced(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    trace_capacity: Option<usize>,
+) -> (
+    Partition,
+    ParhipStats,
+    pgp_obs::RunReport,
+    pgp_obs::RunTrace,
+) {
+    let obs =
+        pgp_obs::Obs::with_trace(p, trace_capacity.unwrap_or(pgp_obs::DEFAULT_TRACE_CAPACITY));
+    let run_cfg = pgp_dmp::RunConfig {
+        obs: Some(std::sync::Arc::clone(&obs)),
+        ..Default::default()
+    };
+    let results = pgp_dmp::run_config(p, run_cfg, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed(comm, &dg, cfg);
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free traced run cannot fail structurally");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    let trace = obs.trace().expect("registry was built with tracing on");
+    (partition, stats, obs.report(), trace)
 }
 
 /// As [`partition_parallel`], checkpointing every V-cycle boundary into

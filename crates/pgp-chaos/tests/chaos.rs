@@ -178,6 +178,88 @@ fn stall_injection_changes_timing_not_results() {
     assert_eq!(clean, stalled);
 }
 
+/// Injected stall time must surface in the trace as a distinct `Fault`
+/// event on the PE *doing the stalling* — never silently folded into the
+/// receive-wait blame of some innocent peer. The peers' waits, in turn,
+/// must blame the stalled PE: that is exactly the straggler-attribution
+/// picture a chaos stall is supposed to produce.
+#[test]
+fn stall_time_is_a_fault_event_and_blame_names_the_stalled_pe() {
+    use pgp_obs::{FaultKind, TraceEventKind};
+    use std::sync::Arc;
+
+    let obs = pgp_obs::Obs::with_trace(3, 1 << 16);
+    // Every send from PE 2 stalls 500 µs; nobody else is touched.
+    let mut rc = FaultPlan::new(7)
+        .stall(1000, 500)
+        .only_src(2)
+        .into_config(Some(DEADLINE));
+    rc.obs = Some(Arc::clone(&obs));
+    // Star-topology rounds: PEs 0 and 1 exchange only with PE 2, never
+    // with each other, and every round's sends are posted before any PE
+    // blocks. Receive waits can then only be caused by a slow *sender*
+    // talking to the waiter directly — the cleanest attribution target.
+    // (All-to-all rounds would cascade: PE 2's staggered stalled sends
+    // skew 0 and 1 against each other, smearing blame onto innocents.)
+    let results = pgp_dmp::run_config(3, rc, |comm| {
+        let rec = comm.recorder();
+        rec.enter("exchange");
+        for round in 0..8u64 {
+            let tag = comm.fresh_tag_block();
+            if comm.rank() == 2 {
+                comm.send(0, tag, round);
+                comm.send(1, tag, round);
+                assert_eq!(comm.recv::<u64>(0, tag), round);
+                assert_eq!(comm.recv::<u64>(1, tag), round);
+            } else {
+                comm.send(2, tag, round);
+                assert_eq!(comm.recv::<u64>(2, tag), round);
+            }
+        }
+        rec.exit("exchange");
+    });
+    for r in results {
+        r.expect("stalls must not fail a run");
+    }
+    let trace = obs.trace().expect("registry was built with tracing on");
+
+    // The stall shows up as Fault events on PE 2 and only PE 2.
+    for pe in &trace.per_pe {
+        let stall_faults = pe
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    TraceEventKind::Fault {
+                        kind: FaultKind::Stall,
+                        ..
+                    }
+                )
+            })
+            .count();
+        if pe.rank == 2 {
+            assert!(stall_faults > 0, "the stalled PE must record fault events");
+        } else {
+            assert_eq!(
+                stall_faults, 0,
+                "rank {} recorded someone else's stall",
+                pe.rank
+            );
+        }
+    }
+
+    // Receive-wait blame points at the stalled PE, overwhelmingly.
+    let blame = trace.blame_by_peer();
+    let total: u64 = blame.values().sum();
+    let on_stalled = blame.get(&2).copied().unwrap_or(0);
+    assert!(total > 0, "stalls must induce measurable receive waits");
+    assert!(
+        on_stalled * 10 >= total * 9,
+        "PE 2 must own >= 90% of attributed wait, got {on_stalled} of {total} ns"
+    );
+}
+
 #[test]
 fn chaos_runs_are_reproducible() {
     let plan = || FaultPlan::new(21).delay(300, 4).stall(100, 50);

@@ -22,7 +22,7 @@ const OP_SCAN: u64 = 6 << 8;
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, no central coordinator.
 pub fn barrier(comm: &Comm) {
-    comm.recorder().count_collective("barrier");
+    let _coll = comm.recorder().collective_span("barrier");
     let p = comm.size();
     if p == 1 {
         return;
@@ -81,7 +81,7 @@ fn bcast_internal<T: Clone + Send + 'static>(
 
 /// Broadcast from `root`. The root passes `Some(value)`, others `None`.
 pub fn broadcast<T: Clone + Send + 'static>(comm: &Comm, root: usize, value: Option<T>) -> T {
-    comm.recorder().count_collective("broadcast");
+    let _coll = comm.recorder().collective_span("broadcast");
     let tag = comm.fresh_tag_block() + OP_BCAST;
     bcast_internal(comm, root, value, tag)
 }
@@ -93,7 +93,7 @@ where
     T: Send + 'static,
     F: Fn(T, T) -> T,
 {
-    comm.recorder().count_collective("reduce");
+    let _coll = comm.recorder().collective_span("reduce");
     let tag = comm.fresh_tag_block() + OP_REDUCE;
     reduce_internal(comm, root, value, op, tag)
 }
@@ -139,7 +139,7 @@ where
     T: Clone + Send + 'static,
     F: Fn(T, T) -> T,
 {
-    comm.recorder().count_collective("allreduce");
+    let _coll = comm.recorder().collective_span("allreduce");
     let tag = comm.fresh_tag_block() + OP_REDUCE;
     let total = reduce_internal(comm, 0, value, op, tag);
     let tag = comm.fresh_tag_block() + OP_BCAST;
@@ -183,7 +183,7 @@ pub fn allreduce_min_with_rank(comm: &Comm, value: u64) -> (u64, usize) {
 /// Exclusive prefix sum (exscan): rank r receives `Σ_{i<r} value_i`.
 /// Used by the parallel contraction to renumber cluster IDs (§IV-C).
 pub fn exscan_sum(comm: &Comm, value: u64) -> u64 {
-    comm.recorder().count_collective("exscan_sum");
+    let _coll = comm.recorder().collective_span("exscan_sum");
     let tag = comm.fresh_tag_block() + OP_SCAN;
     // Linear ring pass: cheap and simple for p ≤ 64; the paper's prefix sum
     // is also latency-bound, not bandwidth-bound.
@@ -201,7 +201,7 @@ pub fn exscan_sum(comm: &Comm, value: u64) -> u64 {
 
 /// Gather to `root`: returns `Some(values-in-rank-order)` on the root.
 pub fn gather<T: Send + 'static>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
-    comm.recorder().count_collective("gather");
+    let _coll = comm.recorder().collective_span("gather");
     let tag = comm.fresh_tag_block() + OP_GATHER;
     if comm.rank() == root {
         let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
@@ -220,7 +220,7 @@ pub fn gather<T: Send + 'static>(comm: &Comm, root: usize, value: T) -> Option<V
 
 /// Allgather: every PE receives every PE's value, in rank order.
 pub fn allgather<T: Clone + Send + 'static>(comm: &Comm, value: T) -> Vec<T> {
-    comm.recorder().count_collective("allgather");
+    let _coll = comm.recorder().collective_span("allgather");
     let tag = comm.fresh_tag_block() + OP_ALLGATHER;
     // Direct exchange: p−1 sends + p−1 receives per PE.
     for dst in 0..comm.size() {
@@ -250,7 +250,7 @@ pub fn allgatherv<T: Clone + Send + 'static>(comm: &Comm, value: Vec<T>) -> Vec<
 /// parallel contraction (quotient-edge redistribution) and uncoarsening
 /// (block-ID queries).
 pub fn alltoallv<T: Send + 'static>(comm: &Comm, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-    comm.recorder().count_collective("alltoallv");
+    let _coll = comm.recorder().collective_span("alltoallv");
     assert_eq!(sends.len(), comm.size(), "one send vector per PE required");
     let tag = comm.fresh_tag_block() + OP_ALLTOALL;
     let mine = std::mem::take(&mut sends[comm.rank()]);
@@ -284,7 +284,7 @@ pub fn alltoallv<T: Send + 'static>(comm: &Comm, mut sends: Vec<Vec<T>>) -> Vec<
 
 /// Dissemination barrier with a per-receive `deadline`.
 pub fn try_barrier(comm: &Comm, deadline: Duration) -> Result<(), CommError> {
-    comm.recorder().count_collective("try_barrier");
+    let _coll = comm.recorder().collective_span("try_barrier");
     let p = comm.size();
     if p == 1 {
         return Ok(());
@@ -309,7 +309,7 @@ pub fn try_allgather<T: Clone + Send + 'static>(
     value: T,
     deadline: Duration,
 ) -> Result<Vec<T>, CommError> {
-    comm.recorder().count_collective("try_allgather");
+    let _coll = comm.recorder().collective_span("try_allgather");
     let tag = comm.fresh_tag_block() + OP_ALLGATHER;
     for dst in 0..comm.size() {
         if dst != comm.rank() {
@@ -351,7 +351,7 @@ pub fn try_alltoallv<T: Send + 'static>(
     mut sends: Vec<Vec<T>>,
     deadline: Duration,
 ) -> Result<Vec<Vec<T>>, CommError> {
-    comm.recorder().count_collective("try_alltoallv");
+    let _coll = comm.recorder().collective_span("try_alltoallv");
     assert_eq!(sends.len(), comm.size(), "one send vector per PE required");
     let tag = comm.fresh_tag_block() + OP_ALLTOALL;
     let mine = std::mem::take(&mut sends[comm.rank()]);

@@ -400,6 +400,9 @@ impl Universe {
         assert!(size > 0, "need at least one PE");
         if let Some(o) = &obs {
             assert_eq!(o.p(), size, "obs registry sized for a different PE count");
+            // All PE trace timestamps are measured from this run's setup
+            // instant, so cross-PE timelines share one epoch.
+            o.rebase_epoch();
         }
         Arc::new(Self {
             mailboxes: (0..size)
@@ -589,7 +592,7 @@ impl Comm {
             .fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
         let payload = pack(msg);
         if self.recorder.is_enabled() {
-            self.recorder.on_send(tag, payload.wire_bytes());
+            self.recorder.on_send(dst, tag, payload.wire_bytes());
         }
         if let Some(hook) = self.universe.hook.clone() {
             self.chaos_send(&*hook, dst, tag, payload);
@@ -645,11 +648,11 @@ impl Comm {
                     // conservation tests subtract them); the payload is
                     // simply discarded here.
                     if self.recorder.is_enabled() {
-                        self.recorder.on_fault_drop(tag, payload.wire_bytes());
+                        self.recorder.on_fault_drop(dst, tag, payload.wire_bytes());
                     }
                 }
                 SendFault::Delay { holds } => {
-                    self.recorder.on_fault_delay();
+                    self.recorder.on_fault_delay(dst, tag);
                     limbo.push(LimboQueue {
                         dst,
                         tag,
@@ -658,7 +661,8 @@ impl Comm {
                     });
                 }
                 SendFault::Stall { micros } => {
-                    self.recorder.on_fault_stall();
+                    self.recorder
+                        .on_fault_stall(dst, tag, micros.saturating_mul(1_000));
                     std::thread::sleep(Duration::from_micros(micros));
                     self.deliver(dst, tag, payload);
                 }
@@ -763,7 +767,7 @@ impl Comm {
                 drop(inner);
                 self.recorder.end_wait(wait_tok);
                 if self.recorder.is_enabled() {
-                    self.recorder.on_recv(tag, payload.wire_bytes());
+                    self.recorder.on_recv(src, tag, payload.wire_bytes());
                 }
                 return Ok(unpack(payload, src, tag));
             }
@@ -771,7 +775,7 @@ impl Comm {
                 return Err(self.localize(err));
             }
             if wait_tok.is_none() {
-                wait_tok = self.recorder.start_wait();
+                wait_tok = self.recorder.start_wait(Some(src), tag);
             }
             match (deadline, start) {
                 (Some(limit), Some(t0)) => {
@@ -803,7 +807,7 @@ impl Comm {
         let payload = inner.by_src[src].take(tag)?;
         drop(inner);
         if self.recorder.is_enabled() {
-            self.recorder.on_recv(tag, payload.wire_bytes());
+            self.recorder.on_recv(src, tag, payload.wire_bytes());
         }
         Some(unpack(payload, src, tag))
     }
@@ -826,7 +830,7 @@ impl Comm {
                     drop(inner);
                     self.recorder.end_wait(wait_tok);
                     if self.recorder.is_enabled() {
-                        self.recorder.on_recv(tag, payload.wire_bytes());
+                        self.recorder.on_recv(src, tag, payload.wire_bytes());
                     }
                     return (src, unpack(payload, src, tag));
                 }
@@ -835,7 +839,8 @@ impl Comm {
                 std::panic::panic_any(CommAbort(self.localize(err)));
             }
             if wait_tok.is_none() {
-                wait_tok = self.recorder.start_wait();
+                // No single awaited source — attribution stays unassigned.
+                wait_tok = self.recorder.start_wait(None, tag);
             }
             match (deadline, start) {
                 (Some(limit), Some(t0)) => {
@@ -878,8 +883,8 @@ impl Comm {
             }
         }
         if self.recorder.is_enabled() {
-            for (_, payload) in &raw {
-                self.recorder.on_recv(tag, payload.wire_bytes());
+            for (src, payload) in &raw {
+                self.recorder.on_recv(*src, tag, payload.wire_bytes());
             }
         }
         raw.into_iter()

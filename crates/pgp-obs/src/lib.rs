@@ -33,23 +33,42 @@
 //!   the owner's cell mutex.
 //! - [`PassStats`]: the unified local-search outcome type that replaces
 //!   the previously duplicated `SclpStats`/`FmStats`.
+//! - Trace timelines ([`RunTrace`], via [`Obs::with_trace`]): bounded
+//!   per-PE event rings recording span open/close, sends/receives with
+//!   per-peer sequence numbers, per-peer receive waits, collective
+//!   entry/exit, and fault-injection incidents — all on one run-wide
+//!   monotonic epoch. Exportable as Chrome-trace/Perfetto JSON
+//!   ([`to_perfetto_json`], checked by [`validate_perfetto`]) and
+//!   analyzable in-process (`RunTrace::phase_blame`,
+//!   `RunTrace::collective_skews`) for straggler attribution.
+//! - [`WaitHistogram`]: √2-log-bucket latency histogram behind the
+//!   report's receive-wait distribution fields (p50/p95/p99 are
+//!   re-derived from the buckets at parse time).
 //!
 //! Raw `Instant::now()` in `crates/{core,pgp-dmp,pgp-lp}` is confined to
 //! this crate's seam by `cargo xtask lint` rule 7 (`instant-now`): time is
 //! taken inside [`Recorder`]/[`WaitToken`], so algorithm and comm code
-//! never handle clocks directly.
+//! never handle clocks directly. The same rule covers this crate's own
+//! sources — the annotated recorder/epoch sites are the only sanctioned
+//! timestamp escapes.
 
 mod handoff;
 mod json;
 mod metrics;
+mod perfetto;
 mod recorder;
 mod report;
+mod trace;
 
 pub use handoff::FlushSlot;
 pub use json::JsonValue;
-pub use metrics::{LevelMetrics, PassStats, PhaseStat, RefineMetrics, TagCounter};
-pub use recorder::{Obs, Recorder, SpanGuard, WaitToken};
+pub use metrics::{LevelMetrics, PassStats, PhaseStat, RefineMetrics, TagCounter, WaitHistogram};
+pub use perfetto::{to_perfetto_json, validate_perfetto};
+pub use recorder::{CollectiveGuard, Obs, Recorder, SpanGuard, WaitToken, DEFAULT_TRACE_CAPACITY};
 pub use report::{
-    Aggregate, CollectiveEntry, CommReport, PeReport, PhaseEntry, RunReport, TagEntry,
-    SCHEMA_VERSION,
+    Aggregate, CollectiveEntry, CommReport, HistBucketEntry, PeReport, PeerWaitEntry, PhaseEntry,
+    RunReport, TagEntry, SCHEMA_VERSION,
+};
+pub use trace::{
+    CollectiveSkew, FaultKind, PeTrace, PhaseBlame, RunTrace, TraceEvent, TraceEventKind,
 };

@@ -1,30 +1,60 @@
 //! The per-PE recorder and the run-wide observation registry.
+//!
+//! ## Clock model
+//!
+//! All trace timestamps are nanoseconds since one *run epoch*: a
+//! monotonic [`Instant`] owned by the [`Obs`] registry, rebased by the
+//! universe right before the PE threads spawn ([`Obs::rebase_epoch`]),
+//! so every PE of a run shares a single clock and cross-PE deltas
+//! (collective skew, send→recv latency) are directly comparable. Each
+//! [`Recorder`] caches the epoch origin at creation — reading a
+//! timestamp is `Instant::now()` plus an atomic offset load, no lock.
+//! On checkpoint resume the saved elapsed time is restored as the
+//! epoch *offset* ([`Obs::set_epoch_offset_ns`]), so a resumed run's
+//! timeline continues where the original left off instead of starting
+//! over at zero.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::handoff::FlushSlot;
-use crate::metrics::{LevelMetrics, PhaseStat, RefineMetrics, TagCounter};
+use crate::metrics::{LevelMetrics, PhaseStat, RefineMetrics, TagCounter, WaitHistogram};
 use crate::report::{Aggregate, PeReport, RunReport, SCHEMA_VERSION};
+use crate::trace::{FaultKind, PeTrace, RunTrace, TraceEventKind, TraceRing};
+
+/// Default per-PE trace ring capacity (events). Generous enough that
+/// the tiny-to-small benchmark tiers never drop (dropping is counted,
+/// not silent), small enough to bound memory at ~100 MB/PE worst case.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
 
 /// Run-wide observation registry: one cell per PE.
 ///
-/// Created once per observed run ([`Obs::new`]); each PE thread gets a
-/// [`Recorder`] handle onto its own cell via [`Obs::recorder`]. Cells are
-/// single-writer — only the owning PE thread records — so the mutexes are
-/// uncontended; [`Obs::report`] locks them after the PEs have joined.
+/// Created once per observed run ([`Obs::new`], or [`Obs::with_trace`]
+/// to also record event timelines); each PE thread gets a [`Recorder`]
+/// handle onto its own cell via [`Obs::recorder`]. Cells are
+/// single-writer — only the owning PE thread records — so the mutexes
+/// are uncontended; [`Obs::report`] locks them after the PEs have
+/// joined.
 pub struct Obs {
     cells: Vec<Mutex<PeState>>,
     /// Seqlock progress slots, published at phase barriers and readable
     /// by external observers while the run is in flight.
     progress: Vec<FlushSlot>,
+    /// Origin of the run's monotonic epoch (see the module docs).
+    epoch_origin: Mutex<Instant>,
+    /// Nanoseconds to add on top of the origin — nonzero after a
+    /// checkpoint resume restored the original run's elapsed time.
+    epoch_offset_ns: AtomicU64,
+    /// Whether per-PE trace rings exist (uniform across PEs, so trace
+    /// bookkeeping like sequence numbers cannot desync between peers).
+    traced: bool,
 }
 
 /// All observations of one PE. Single-writer by the owning thread.
-#[derive(Default)]
 pub(crate) struct PeState {
     /// Open spans, innermost last.
     stack: Vec<OpenSpan>,
@@ -41,8 +71,12 @@ pub(crate) struct PeState {
     pub(crate) dropped: BTreeMap<u64, TagCounter>,
     /// Collective invocation counts by name.
     pub(crate) collectives: BTreeMap<&'static str, u64>,
-    /// Nanoseconds spent blocked in receive waits.
-    pub(crate) recv_wait_ns: u64,
+    /// Receive-wait latency distribution (√2 log buckets + exact sum).
+    pub(crate) recv_wait_hist: WaitHistogram,
+    /// Receive-wait nanoseconds blamed on each awaited source PE
+    /// (wildcard receives are not attributable and land only in the
+    /// histogram).
+    pub(crate) recv_wait_by_peer: BTreeMap<usize, u64>,
     /// Sends held in a limbo queue by fault injection.
     pub(crate) delayed: u64,
     /// Sends stalled (slept) by fault injection.
@@ -54,6 +88,32 @@ pub(crate) struct PeState {
     /// Running totals mirrored into the progress seqlock.
     msgs_sent_total: u64,
     bytes_sent_total: u64,
+    /// Event timeline, present when the registry was built with
+    /// [`Obs::with_trace`].
+    trace: Option<TraceRing>,
+}
+
+impl PeState {
+    fn new(trace_capacity: Option<usize>) -> Self {
+        Self {
+            stack: Vec::new(),
+            phases: BTreeMap::new(),
+            orphan_exits: 0,
+            sent: BTreeMap::new(),
+            recvd: BTreeMap::new(),
+            dropped: BTreeMap::new(),
+            collectives: BTreeMap::new(),
+            recv_wait_hist: WaitHistogram::default(),
+            recv_wait_by_peer: BTreeMap::new(),
+            delayed: 0,
+            stalled: 0,
+            levels: Vec::new(),
+            refinements: Vec::new(),
+            msgs_sent_total: 0,
+            bytes_sent_total: 0,
+            trace: trace_capacity.map(TraceRing::new),
+        }
+    }
 }
 
 struct OpenSpan {
@@ -65,11 +125,29 @@ struct OpenSpan {
 }
 
 impl Obs {
-    /// A registry for a `p`-PE run.
+    /// A registry for a `p`-PE run (aggregate report only, no event
+    /// timelines — the pre-trace behavior and cost).
     pub fn new(p: usize) -> Arc<Self> {
+        Self::build(p, None)
+    }
+
+    /// A registry that additionally records per-PE event timelines,
+    /// bounded at `capacity` events per PE (excess events are counted
+    /// as dropped, newest first). Use [`DEFAULT_TRACE_CAPACITY`] unless
+    /// you have a reason not to.
+    pub fn with_trace(p: usize, capacity: usize) -> Arc<Self> {
+        Self::build(p, Some(capacity))
+    }
+
+    fn build(p: usize, trace_capacity: Option<usize>) -> Arc<Self> {
         Arc::new(Self {
-            cells: (0..p).map(|_| Mutex::new(PeState::default())).collect(),
+            cells: (0..p)
+                .map(|_| Mutex::new(PeState::new(trace_capacity)))
+                .collect(),
             progress: (0..p).map(|_| FlushSlot::new()).collect(),
+            epoch_origin: Mutex::new(Instant::now()), // lint:instant-ok: trace epoch origin
+            epoch_offset_ns: AtomicU64::new(0),
+            traced: trace_capacity.is_some(),
         })
     }
 
@@ -78,11 +156,42 @@ impl Obs {
         self.cells.len()
     }
 
+    /// Whether event timelines are being recorded.
+    pub fn is_traced(&self) -> bool {
+        self.traced
+    }
+
+    /// Re-anchors the run epoch at "now". The universe calls this once
+    /// at setup, before the PE threads spawn — recorders created after
+    /// the rebase (all of them) share the new origin.
+    pub fn rebase_epoch(&self) {
+        *self.epoch_origin.lock() = Instant::now(); // lint:instant-ok: trace epoch rebase
+    }
+
+    /// Sets the epoch offset, giving resumed runs timeline continuity:
+    /// pass the elapsed nanoseconds saved in the checkpoint and the
+    /// resumed run's timestamps continue from there.
+    pub fn set_epoch_offset_ns(&self, offset_ns: u64) {
+        self.epoch_offset_ns.store(offset_ns, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds elapsed on the run epoch (offset included). This is
+    /// what checkpoints save for resume continuity.
+    pub fn epoch_elapsed_ns(&self) -> u64 {
+        let origin = *self.epoch_origin.lock();
+        let since = Instant::now().saturating_duration_since(origin); // lint:instant-ok: trace epoch read
+        self.epoch_offset_ns
+            .load(Ordering::Relaxed)
+            .saturating_add(u64::try_from(since.as_nanos()).unwrap_or(u64::MAX))
+    }
+
     /// The recorder handle for `rank`'s cell.
     pub fn recorder(self: &Arc<Self>, rank: usize) -> Recorder {
         assert!(rank < self.cells.len(), "obs recorder rank out of range");
         Recorder {
             inner: Some(Inner {
+                origin: *self.epoch_origin.lock(),
+                traced: self.traced,
                 obs: Arc::clone(self),
                 rank,
             }),
@@ -120,6 +229,30 @@ impl Obs {
             aggregate,
         }
     }
+
+    /// Assembles the event timelines, or `None` when the registry was
+    /// built without tracing. Call after the PE threads have joined.
+    pub fn trace(&self) -> Option<RunTrace> {
+        if !self.traced {
+            return None;
+        }
+        let per_pe: Vec<PeTrace> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(rank, cell)| {
+                cell.lock()
+                    .trace
+                    .as_ref()
+                    .expect("traced registry has rings")
+                    .snapshot(rank)
+            })
+            .collect();
+        Some(RunTrace {
+            p: self.cells.len(),
+            per_pe,
+        })
+    }
 }
 
 /// Handle through which one PE thread records observations.
@@ -136,6 +269,12 @@ pub struct Recorder {
 
 #[derive(Clone)]
 struct Inner {
+    /// Epoch origin cached at recorder creation (after the universe's
+    /// rebase), so timestamps need no lock.
+    origin: Instant,
+    /// Cached [`Obs::is_traced`]; gates the extra `Instant::now()` per
+    /// comm hook so report-only runs keep their pre-trace cost.
+    traced: bool,
     obs: Arc<Obs>,
     rank: usize,
 }
@@ -143,6 +282,25 @@ struct Inner {
 impl Inner {
     fn with<R>(&self, f: impl FnOnce(&mut PeState) -> R) -> R {
         f(&mut self.obs.cells[self.rank].lock())
+    }
+
+    /// Nanoseconds of `at` on the run epoch.
+    fn ns_at(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.origin);
+        self.obs
+            .epoch_offset_ns
+            .load(Ordering::Relaxed)
+            .saturating_add(u64::try_from(since.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Epoch-nanoseconds of "now" when tracing, else 0 (the value is
+    /// only consumed by ring pushes, which are themselves trace-gated).
+    fn trace_ts(&self) -> u64 {
+        if self.traced {
+            self.ns_at(Instant::now()) // lint:instant-ok: trace event timestamp
+        } else {
+            0
+        }
     }
 }
 
@@ -156,6 +314,33 @@ impl Recorder {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether event timelines are being recorded (implies
+    /// [`Recorder::is_enabled`]; uniform across a run's PEs).
+    #[inline]
+    pub fn is_traced(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.traced)
+    }
+
+    /// Nanoseconds elapsed on the run epoch; 0 when disabled. Cheap
+    /// (no lock) — used for checkpoint epoch continuity.
+    #[inline]
+    pub fn epoch_elapsed_ns(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.ns_at(Instant::now()), // lint:instant-ok: trace epoch read
+        }
+    }
+
+    /// Restores the run epoch offset from a checkpoint's saved elapsed
+    /// time, so the resumed timeline continues rather than restarting
+    /// at zero. Idempotent; every PE may call it with the same value.
+    #[inline]
+    pub fn resume_epoch(&self, elapsed_ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.obs.set_epoch_offset_ns(elapsed_ns);
+        }
     }
 
     /// Opens a span; close it with the returned guard (or a matching
@@ -174,12 +359,18 @@ impl Recorder {
     pub fn enter(&self, name: &'static str) {
         if let Some(inner) = &self.inner {
             debug_assert!(!name.contains('/'), "span names must not contain '/'");
-            let start = Instant::now();
+            let start = Instant::now(); // lint:instant-ok: span timing
             inner.with(|st| {
                 let path = match st.stack.last() {
                     Some(top) => format!("{}/{name}", top.path),
                     None => name.to_string(),
                 };
+                if let Some(ring) = &mut st.trace {
+                    ring.push(
+                        inner.ns_at(start),
+                        TraceEventKind::SpanOpen { path: path.clone() },
+                    );
+                }
                 st.stack.push(OpenSpan { path, name, start });
             });
         }
@@ -190,11 +381,19 @@ impl Recorder {
     #[inline]
     pub fn exit(&self, name: &'static str) {
         if let Some(inner) = &self.inner {
-            let now = Instant::now();
+            let now = Instant::now(); // lint:instant-ok: span timing
             inner.with(|st| match st.stack.last() {
                 Some(top) if top.name == name => {
                     let span = st.stack.pop().expect("non-empty: just matched");
                     let elapsed = now.duration_since(span.start);
+                    if let Some(ring) = &mut st.trace {
+                        ring.push(
+                            inner.ns_at(now),
+                            TraceEventKind::SpanClose {
+                                path: span.path.clone(),
+                            },
+                        );
+                    }
                     let stat = st.phases.entry(span.path).or_default();
                     stat.count += 1;
                     // lint note: u128 -> u64 saturation; a span would need
@@ -229,65 +428,182 @@ impl Recorder {
         }
     }
 
-    /// Records one sent message of `bytes` payload bytes on `tag`.
+    /// Counts a collective invocation *and* brackets it on the event
+    /// timeline: a `CollectiveEnter` now, the matching `CollectiveExit`
+    /// when the guard drops. Cross-PE deltas between the enter events
+    /// of one invocation are the collective's arrival skew (see
+    /// `RunTrace::collective_skews`).
     #[inline]
-    pub fn on_send(&self, tag: u64, bytes: u64) {
+    pub fn collective_span<'a>(&'a self, name: &'static str) -> CollectiveGuard<'a> {
         if let Some(inner) = &self.inner {
+            let ts = inner.trace_ts();
+            inner.with(|st| {
+                *st.collectives.entry(name).or_insert(0) += 1;
+                if let Some(ring) = &mut st.trace {
+                    ring.push(ts, TraceEventKind::CollectiveEnter { name });
+                }
+            });
+        }
+        CollectiveGuard { rec: self, name }
+    }
+
+    /// Records one sent message of `bytes` payload bytes to `dst` on
+    /// `tag`.
+    #[inline]
+    pub fn on_send(&self, dst: usize, tag: u64, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.trace_ts();
             inner.with(|st| {
                 st.sent.entry(tag).or_default().add(bytes);
                 st.msgs_sent_total += 1;
                 st.bytes_sent_total += bytes;
+                if let Some(ring) = &mut st.trace {
+                    let seq = ring.next_send_seq(dst, tag);
+                    ring.push(
+                        ts,
+                        TraceEventKind::Send {
+                            dst,
+                            tag,
+                            seq,
+                            bytes,
+                        },
+                    );
+                }
             });
         }
     }
 
-    /// Records one received message of `bytes` payload bytes on `tag`.
+    /// Records one received message of `bytes` payload bytes from
+    /// `src` on `tag`.
     #[inline]
-    pub fn on_recv(&self, tag: u64, bytes: u64) {
+    pub fn on_recv(&self, src: usize, tag: u64, bytes: u64) {
         if let Some(inner) = &self.inner {
-            inner.with(|st| st.recvd.entry(tag).or_default().add(bytes));
+            let ts = inner.trace_ts();
+            inner.with(|st| {
+                st.recvd.entry(tag).or_default().add(bytes);
+                if let Some(ring) = &mut st.trace {
+                    let seq = ring.next_recv_seq(src, tag);
+                    ring.push(
+                        ts,
+                        TraceEventKind::Recv {
+                            src,
+                            tag,
+                            seq,
+                            bytes,
+                        },
+                    );
+                }
+            });
         }
     }
 
-    /// Records one message dropped by fault injection.
+    /// Records one message toward `dst` dropped by fault injection.
     #[inline]
-    pub fn on_fault_drop(&self, tag: u64, bytes: u64) {
+    pub fn on_fault_drop(&self, dst: usize, tag: u64, bytes: u64) {
         if let Some(inner) = &self.inner {
-            inner.with(|st| st.dropped.entry(tag).or_default().add(bytes));
+            let ts = inner.trace_ts();
+            inner.with(|st| {
+                st.dropped.entry(tag).or_default().add(bytes);
+                if let Some(ring) = &mut st.trace {
+                    ring.push(
+                        ts,
+                        TraceEventKind::Fault {
+                            kind: FaultKind::Drop,
+                            peer: dst,
+                            tag,
+                            dur_ns: 0,
+                        },
+                    );
+                }
+            });
         }
     }
 
-    /// Records one send held in a limbo queue by fault injection.
+    /// Records one send toward `dst` held in a limbo queue by fault
+    /// injection.
     #[inline]
-    pub fn on_fault_delay(&self) {
+    pub fn on_fault_delay(&self, dst: usize, tag: u64) {
         if let Some(inner) = &self.inner {
-            inner.with(|st| st.delayed += 1);
+            let ts = inner.trace_ts();
+            inner.with(|st| {
+                st.delayed += 1;
+                if let Some(ring) = &mut st.trace {
+                    ring.push(
+                        ts,
+                        TraceEventKind::Fault {
+                            kind: FaultKind::Delay,
+                            peer: dst,
+                            tag,
+                            dur_ns: 0,
+                        },
+                    );
+                }
+            });
         }
     }
 
-    /// Records one send stalled (slept) by fault injection.
+    /// Records one send toward `dst` stalled (slept `stall_ns`) by
+    /// fault injection. The injected time gets its own `fault` event
+    /// kind so chaos-run timelines show it on the *injecting* PE rather
+    /// than blaming an innocent peer.
     #[inline]
-    pub fn on_fault_stall(&self) {
+    pub fn on_fault_stall(&self, dst: usize, tag: u64, stall_ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.with(|st| st.stalled += 1);
+            let ts = inner.trace_ts();
+            inner.with(|st| {
+                st.stalled += 1;
+                if let Some(ring) = &mut st.trace {
+                    ring.push(
+                        ts,
+                        TraceEventKind::Fault {
+                            kind: FaultKind::Stall,
+                            peer: dst,
+                            tag,
+                            dur_ns: stall_ns,
+                        },
+                    );
+                }
+            });
         }
     }
 
-    /// Starts timing a receive wait. Returns `None` when disabled; pass
-    /// the token to [`Recorder::end_wait`] once the message arrived.
+    /// Starts timing a receive wait for `tag` from `src` (`None` for
+    /// wildcard receives). Returns `None` when disabled; pass the token
+    /// to [`Recorder::end_wait`] once the message arrived.
     #[inline]
-    pub fn start_wait(&self) -> Option<WaitToken> {
+    pub fn start_wait(&self, src: Option<usize>, tag: u64) -> Option<WaitToken> {
         self.inner.as_ref().map(|_| WaitToken {
-            start: Instant::now(),
+            start: Instant::now(), // lint:instant-ok: recv wait timing
+            src,
+            tag,
         })
     }
 
-    /// Ends a receive wait started by [`Recorder::start_wait`].
+    /// Ends a receive wait started by [`Recorder::start_wait`]: the
+    /// duration lands in the latency histogram, is blamed on the
+    /// awaited peer, and (when tracing) becomes a `RecvWait` event
+    /// stamped at the wait's end.
     #[inline]
     pub fn end_wait(&self, token: Option<WaitToken>) {
         if let (Some(inner), Some(token)) = (&self.inner, token) {
-            let ns = u64::try_from(token.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            inner.with(|st| st.recv_wait_ns += ns);
+            let end = Instant::now(); // lint:instant-ok: recv wait timing
+            let ns = u64::try_from(end.duration_since(token.start).as_nanos()).unwrap_or(u64::MAX);
+            inner.with(|st| {
+                st.recv_wait_hist.record(ns);
+                if let Some(peer) = token.src {
+                    *st.recv_wait_by_peer.entry(peer).or_insert(0) += ns;
+                }
+                if let Some(ring) = &mut st.trace {
+                    ring.push(
+                        inner.ns_at(end),
+                        TraceEventKind::RecvWait {
+                            src: token.src,
+                            tag: token.tag,
+                            wait_ns: ns,
+                        },
+                    );
+                }
+            });
         }
     }
 
@@ -321,6 +637,10 @@ impl Recorder {
 /// Times a receive wait; created by [`Recorder::start_wait`].
 pub struct WaitToken {
     start: Instant,
+    /// The awaited source PE, when the receive named one.
+    src: Option<usize>,
+    /// The awaited tag.
+    tag: u64,
 }
 
 /// RAII guard closing a span opened by [`Recorder::span`].
@@ -336,20 +656,45 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+/// RAII guard emitting the `CollectiveExit` event for a
+/// [`Recorder::collective_span`].
+#[must_use = "dropping the guard immediately ends the collective on the timeline"]
+pub struct CollectiveGuard<'a> {
+    rec: &'a Recorder,
+    name: &'static str,
+}
+
+impl Drop for CollectiveGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.rec.inner {
+            let ts = inner.trace_ts();
+            let name = self.name;
+            inner.with(|st| {
+                if let Some(ring) = &mut st.trace {
+                    ring.push(ts, TraceEventKind::CollectiveExit { name });
+                }
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceEventKind;
 
     #[test]
     fn disabled_recorder_is_inert() {
         let rec = Recorder::disabled();
         assert!(!rec.is_enabled());
+        assert!(!rec.is_traced());
         let g = rec.span("a");
-        rec.on_send(1, 10);
+        rec.on_send(0, 1, 10);
         rec.count_collective("barrier");
-        let tok = rec.start_wait();
+        let tok = rec.start_wait(Some(0), 1);
         assert!(tok.is_none());
         rec.end_wait(tok);
+        assert_eq!(rec.epoch_elapsed_ns(), 0);
         drop(g);
         assert_eq!(rec.phase_seconds("a"), 0.0);
     }
@@ -405,12 +750,12 @@ mod tests {
         let obs = Obs::new(2);
         let r0 = obs.recorder(0);
         let r1 = obs.recorder(1);
-        r0.on_send(7, 16);
-        r0.on_send(7, 8);
-        r1.on_recv(7, 16);
-        r1.on_recv(7, 8);
+        r0.on_send(1, 7, 16);
+        r0.on_send(1, 7, 8);
+        r1.on_recv(0, 7, 16);
+        r1.on_recv(0, 7, 8);
         r0.count_collective("barrier");
-        r0.on_fault_delay();
+        r0.on_fault_delay(1, 7);
         let report = obs.report();
         let sent = &report.per_pe[0].comm.sent;
         assert_eq!(sent.len(), 1);
@@ -426,20 +771,100 @@ mod tests {
     fn progress_tracks_publishes() {
         let obs = Obs::new(2);
         let r0 = obs.recorder(0);
-        r0.on_send(1, 100);
+        r0.on_send(1, 1, 100);
         assert_eq!(obs.progress(), (0, 0), "not yet published");
         r0.publish_progress();
         assert_eq!(obs.progress(), (1, 100));
     }
 
     #[test]
-    fn wait_tokens_accumulate() {
+    fn wait_tokens_accumulate_and_blame_peers() {
         let obs = Obs::new(1);
         let rec = obs.recorder(0);
-        let tok = rec.start_wait();
+        let tok = rec.start_wait(Some(3), 7);
         assert!(tok.is_some());
         rec.end_wait(tok);
+        rec.end_wait(rec.start_wait(None, 9));
         let report = obs.report();
-        assert!(report.per_pe[0].comm.recv_wait_s >= 0.0);
+        let comm = &report.per_pe[0].comm;
+        assert!(comm.recv_wait_s >= 0.0);
+        assert_eq!(comm.recv_wait_count, 2);
+        assert_eq!(comm.recv_wait_by_peer.len(), 1, "wildcard is unattributed");
+        assert_eq!(comm.recv_wait_by_peer[0].peer, 3);
+    }
+
+    #[test]
+    fn untraced_registry_has_no_trace() {
+        let obs = Obs::new(1);
+        assert!(!obs.is_traced());
+        assert!(obs.trace().is_none());
+    }
+
+    #[test]
+    fn trace_records_events_in_program_order() {
+        let obs = Obs::with_trace(2, 64);
+        let r0 = obs.recorder(0);
+        let r1 = obs.recorder(1);
+        assert!(r0.is_traced());
+        {
+            let _s = r0.span("vcycle");
+            r0.on_send(1, 7, 8);
+            r0.on_send(1, 7, 8);
+            let _c = r0.collective_span("barrier");
+        }
+        r1.on_recv(0, 7, 8);
+        r1.end_wait(r1.start_wait(Some(0), 7));
+        let trace = obs.trace().expect("traced");
+        assert_eq!(trace.p, 2);
+        let kinds: Vec<&TraceEventKind> = trace.per_pe[0].events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], TraceEventKind::SpanOpen { path } if path == "vcycle"));
+        assert!(
+            matches!(
+                kinds[1],
+                TraceEventKind::Send {
+                    dst: 1,
+                    tag: 7,
+                    seq: 0,
+                    bytes: 8
+                }
+            ),
+            "first send has seq 0"
+        );
+        assert!(
+            matches!(kinds[2], TraceEventKind::Send { seq: 1, .. }),
+            "second send has seq 1"
+        );
+        assert!(matches!(
+            kinds[3],
+            TraceEventKind::CollectiveEnter { name: "barrier" }
+        ));
+        assert!(matches!(
+            kinds[4],
+            TraceEventKind::CollectiveExit { name: "barrier" }
+        ));
+        assert!(matches!(kinds[5], TraceEventKind::SpanClose { .. }));
+        assert!(matches!(
+            trace.per_pe[1].events[0].kind,
+            TraceEventKind::Recv { src: 0, seq: 0, .. }
+        ));
+        assert!(matches!(
+            trace.per_pe[1].events[1].kind,
+            TraceEventKind::RecvWait { src: Some(0), .. }
+        ));
+        // Timestamps are monotone per PE (shared epoch, single thread).
+        let ts: Vec<u64> = trace.per_pe[0].events.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn epoch_offset_shifts_timestamps() {
+        let obs = Obs::with_trace(1, 8);
+        obs.rebase_epoch();
+        let rec = obs.recorder(0);
+        rec.resume_epoch(1_000_000_000_000); // pretend 1000 s elapsed before resume
+        rec.on_send(0, 1, 8);
+        let trace = obs.trace().expect("traced");
+        assert!(trace.per_pe[0].events[0].ts_ns >= 1_000_000_000_000);
+        assert!(rec.epoch_elapsed_ns() >= 1_000_000_000_000);
     }
 }

@@ -10,12 +10,16 @@
 use std::collections::BTreeMap;
 
 use crate::json::{push_json_str, JsonValue};
-use crate::metrics::{LevelMetrics, RefineMetrics, TagCounter};
+use crate::metrics::{LevelMetrics, RefineMetrics, TagCounter, WaitHistogram};
 use crate::recorder::PeState;
 
 /// Report schema version. Bump whenever the JSON shape changes (fields
 /// added/removed/renamed); the `schema_fingerprint` test guards this.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: receive waits gained a √2-log-bucket latency histogram, a wait
+/// count and per-peer blame per PE, and the aggregate gained
+/// `recv_wait_max_s` (+ owning PE) and parse-time-derived p50/p95/p99.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A complete observed run: per-PE detail plus cross-PE aggregates.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,10 +76,40 @@ pub struct CommReport {
     pub collectives: Vec<CollectiveEntry>,
     /// Seconds blocked in receive waits; zeroed by `to_json(true)`.
     pub recv_wait_s: f64,
+    /// Number of receive waits that actually blocked. Whether a wait
+    /// blocks is a race against the sender, so this (and the histogram
+    /// and blame below) is emptied by `to_json(true)`.
+    pub recv_wait_count: u64,
+    /// Receive-wait latency distribution: sparse √2-log-bucket counts,
+    /// bucket index ascending (see `WaitHistogram`). p50/p95/p99 are
+    /// re-derived from these at parse time rather than stored.
+    pub recv_wait_hist: Vec<HistBucketEntry>,
+    /// Receive-wait seconds blamed on each awaited source PE, peer
+    /// ascending. Wildcard receives are unattributable and appear only
+    /// in the histogram.
+    pub recv_wait_by_peer: Vec<PeerWaitEntry>,
     /// Sends held in limbo queues by fault injection.
     pub delayed: u64,
     /// Sends stalled (slept) by fault injection.
     pub stalled: u64,
+}
+
+/// One sparse histogram bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucketEntry {
+    /// Bucket index (see `WaitHistogram::bucket_lower_bound`).
+    pub bucket: u32,
+    /// Values recorded in this bucket.
+    pub count: u64,
+}
+
+/// Receive-wait blame for one awaited peer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeerWaitEntry {
+    /// The awaited source PE.
+    pub peer: usize,
+    /// Seconds this PE spent blocked waiting on that peer.
+    pub wait_s: f64,
 }
 
 /// Messages/bytes for one tag.
@@ -109,8 +143,22 @@ pub struct Aggregate {
     /// Total collective invocations across all PEs.
     pub collective_calls: u64,
     /// Total seconds blocked in receive waits across all PEs; zeroed by
-    /// `to_json(true)`.
+    /// `to_json(true)`. A plain sum — it hides skew, which is why the
+    /// max (and its owner) and the quantiles below exist.
     pub recv_wait_s: f64,
+    /// The largest single-PE receive-wait total; zeroed by
+    /// `to_json(true)`.
+    pub recv_wait_max_s: f64,
+    /// Rank of the PE owning `recv_wait_max_s` (0 when no PE waited).
+    pub recv_wait_max_pe: usize,
+    /// Median single-wait latency across all PEs, re-derived from the
+    /// merged per-PE histograms (bucket lower-bound resolution); zeroed
+    /// by `to_json(true)`.
+    pub recv_wait_p50_s: f64,
+    /// 95th-percentile single-wait latency (as `recv_wait_p50_s`).
+    pub recv_wait_p95_s: f64,
+    /// 99th-percentile single-wait latency (as `recv_wait_p50_s`).
+    pub recv_wait_p99_s: f64,
     /// Edge cut after the last recorded refinement pass (rank 0's view;
     /// the value is global). `None` when no refinement was recorded.
     pub final_cut: Option<u64>,
@@ -155,7 +203,22 @@ impl PeReport {
                         count,
                     })
                     .collect(),
-                recv_wait_s: st.recv_wait_ns as f64 / 1e9,
+                recv_wait_s: st.recv_wait_hist.total_ns as f64 / 1e9,
+                recv_wait_count: st.recv_wait_hist.count,
+                recv_wait_hist: st
+                    .recv_wait_hist
+                    .buckets
+                    .iter()
+                    .map(|(&bucket, &count)| HistBucketEntry { bucket, count })
+                    .collect(),
+                recv_wait_by_peer: st
+                    .recv_wait_by_peer
+                    .iter()
+                    .map(|(&peer, &ns)| PeerWaitEntry {
+                        peer,
+                        wait_s: ns as f64 / 1e9,
+                    })
+                    .collect(),
                 delayed: st.delayed,
                 stalled: st.stalled,
             },
@@ -171,6 +234,7 @@ impl Aggregate {
     pub fn from_per_pe(per_pe: &[PeReport]) -> Self {
         let mut agg = Aggregate::default();
         let mut phase_sums: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut merged_hist = WaitHistogram::default();
         for pe in per_pe {
             for e in &pe.comm.sent {
                 agg.messages += e.msgs;
@@ -180,12 +244,23 @@ impl Aggregate {
                 agg.collective_calls += c.count;
             }
             agg.recv_wait_s += pe.comm.recv_wait_s;
+            if pe.comm.recv_wait_s > agg.recv_wait_max_s {
+                agg.recv_wait_max_s = pe.comm.recv_wait_s;
+                agg.recv_wait_max_pe = pe.rank;
+            }
+            for e in &pe.comm.recv_wait_hist {
+                *merged_hist.buckets.entry(e.bucket).or_insert(0) += e.count;
+                merged_hist.count += e.count;
+            }
             for ph in &pe.phases {
                 let slot = phase_sums.entry(ph.path.clone()).or_insert((0, 0.0));
                 slot.0 += ph.count;
                 slot.1 += ph.total_s;
             }
         }
+        agg.recv_wait_p50_s = merged_hist.quantile_ns(0.50) as f64 / 1e9;
+        agg.recv_wait_p95_s = merged_hist.quantile_ns(0.95) as f64 / 1e9;
+        agg.recv_wait_p99_s = merged_hist.quantile_ns(0.99) as f64 / 1e9;
         if let Some(pe0) = per_pe.first() {
             agg.final_cut = pe0.refinements.last().map(|r| r.cut);
             agg.max_imbalance = pe0
@@ -278,6 +353,28 @@ impl RunReport {
             .and_then(|a| a.get("recv_wait_s"))
             .and_then(JsonValue::as_f64)
             .ok_or("missing aggregate.recv_wait_s")?;
+        // The skew fields are pure functions of the per-PE detail (the
+        // per-PE wait totals are floats either way), so unlike the sum
+        // they can be checked exactly against the re-derivation.
+        let claimed_max = v
+            .get("aggregate")
+            .and_then(|a| a.get("recv_wait_max_s"))
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing aggregate.recv_wait_max_s")?;
+        let claimed_max_pe = v
+            .get("aggregate")
+            .and_then(|a| a.get("recv_wait_max_pe"))
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing aggregate.recv_wait_max_pe")?;
+        if claimed_max != aggregate.recv_wait_max_s
+            || claimed_max_pe != aggregate.recv_wait_max_pe as u64
+        {
+            return Err(format!(
+                "aggregate.recv_wait_max {claimed_max}s@pe{claimed_max_pe} does not match \
+                 per-PE detail {}s@pe{}",
+                aggregate.recv_wait_max_s, aggregate.recv_wait_max_pe
+            ));
+        }
         let mut aggregate = aggregate;
         // A zero-timings report legitimately disagrees with re-derived
         // (also zero) timings; keep whichever was serialized.
@@ -347,6 +444,15 @@ impl RunReport {
                     count: 1,
                 }],
                 recv_wait_s: 1.0,
+                recv_wait_count: 1,
+                recv_wait_hist: vec![HistBucketEntry {
+                    bucket: 1,
+                    count: 1,
+                }],
+                recv_wait_by_peer: vec![PeerWaitEntry {
+                    peer: 1,
+                    wait_s: 1.0,
+                }],
                 delayed: 0,
                 stalled: 0,
             },
@@ -444,7 +550,40 @@ impl PeReport {
         });
         o.push_str("        \"recv_wait_s\": ");
         push_f64(o, self.comm.recv_wait_s, z);
-        o.push_str(",\n");
+        // Wait counts, the latency histogram and per-peer blame record
+        // *whether* receives blocked — a race against the sender — so a
+        // zero-timings report empties them entirely.
+        o.push_str(&format!(
+            ",\n        \"recv_wait_count\": {},\n",
+            if z { 0 } else { self.comm.recv_wait_count }
+        ));
+        o.push_str("        \"recv_wait_hist\": [");
+        let hist: &[HistBucketEntry] = if z { &[] } else { &self.comm.recv_wait_hist };
+        for (i, e) in hist.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str(&format!(
+                "          {{\"bucket\": {}, \"count\": {}}}",
+                e.bucket, e.count
+            ));
+        }
+        o.push_str(if hist.is_empty() {
+            "],\n"
+        } else {
+            "\n        ],\n"
+        });
+        o.push_str("        \"recv_wait_by_peer\": [");
+        let by_peer: &[PeerWaitEntry] = if z { &[] } else { &self.comm.recv_wait_by_peer };
+        for (i, e) in by_peer.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str(&format!("          {{\"peer\": {}, \"wait_s\": ", e.peer));
+            push_f64(o, e.wait_s, false);
+            o.push('}');
+        }
+        o.push_str(if by_peer.is_empty() {
+            "],\n"
+        } else {
+            "\n        ],\n"
+        });
         o.push_str(&format!(
             "        \"delayed\": {}, \"stalled\": {}\n",
             self.comm.delayed, self.comm.stalled
@@ -608,6 +747,50 @@ impl PeReport {
                     .get("recv_wait_s")
                     .and_then(JsonValue::as_f64)
                     .ok_or("comm missing recv_wait_s")?,
+                recv_wait_count: comm
+                    .get("recv_wait_count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("comm missing recv_wait_count")?,
+                recv_wait_hist: comm
+                    .get("recv_wait_hist")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("comm missing recv_wait_hist")?
+                    .iter()
+                    .map(|e| {
+                        Ok(HistBucketEntry {
+                            bucket: u32::try_from(
+                                e.get("bucket")
+                                    .and_then(JsonValue::as_u64)
+                                    .ok_or("hist missing bucket")?,
+                            )
+                            .map_err(|_| "bucket out of range")?,
+                            count: e
+                                .get("count")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or("hist missing count")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+                recv_wait_by_peer: comm
+                    .get("recv_wait_by_peer")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("comm missing recv_wait_by_peer")?
+                    .iter()
+                    .map(|e| {
+                        Ok(PeerWaitEntry {
+                            peer: usize::try_from(
+                                e.get("peer")
+                                    .and_then(JsonValue::as_u64)
+                                    .ok_or("blame missing peer")?,
+                            )
+                            .map_err(|_| "peer out of range")?,
+                            wait_s: e
+                                .get("wait_s")
+                                .and_then(JsonValue::as_f64)
+                                .ok_or("blame missing wait_s")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
                 delayed: comm
                     .get("delayed")
                     .and_then(JsonValue::as_u64)
@@ -636,6 +819,18 @@ impl Aggregate {
         ));
         o.push_str("    \"recv_wait_s\": ");
         push_f64(o, self.recv_wait_s, z);
+        o.push_str(",\n    \"recv_wait_max_s\": ");
+        push_f64(o, self.recv_wait_max_s, z);
+        o.push_str(&format!(
+            ", \"recv_wait_max_pe\": {},\n",
+            if z { 0 } else { self.recv_wait_max_pe }
+        ));
+        o.push_str("    \"recv_wait_p50_s\": ");
+        push_f64(o, self.recv_wait_p50_s, z);
+        o.push_str(", \"recv_wait_p95_s\": ");
+        push_f64(o, self.recv_wait_p95_s, z);
+        o.push_str(", \"recv_wait_p99_s\": ");
+        push_f64(o, self.recv_wait_p99_s, z);
         o.push_str(",\n    \"final_cut\": ");
         match self.final_cut {
             Some(cut) => o.push_str(&format!("{cut}")),
@@ -673,13 +868,14 @@ mod tests {
         {
             let _v = r0.span("vcycle");
             let _c = r0.span("coarsen");
-            r0.on_send(7, 24);
-            r0.on_send(1 << 48, 8);
+            r0.on_send(1, 7, 24);
+            r0.on_send(1, 1 << 48, 8);
             r0.count_collective("barrier");
         }
-        r1.on_recv(7, 24);
-        r1.on_recv(1 << 48, 8);
+        r1.on_recv(0, 7, 24);
+        r1.on_recv(0, 1 << 48, 8);
         r1.count_collective("barrier");
+        r1.end_wait(r1.start_wait(Some(0), 7));
         r0.record_level(LevelMetrics {
             cycle: 0,
             level: 0,
@@ -712,12 +908,17 @@ mod tests {
         let report = sample_report();
         let json = report.to_json(true);
         assert!(!json.contains("total_s\": 0."), "timings must be zeroed");
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"final_cut\": 42"));
         assert!(
             json.contains("\"imbalance\": 0.03"),
             "imbalance survives zeroing"
         );
+        assert!(
+            json.contains("\"recv_wait_count\": 0") && json.contains("\"recv_wait_hist\": []"),
+            "racy wait observations must be emptied: {json}"
+        );
+        assert!(json.contains("\"recv_wait_by_peer\": []"));
     }
 
     #[test]
@@ -735,7 +936,7 @@ mod tests {
         let report = sample_report();
         let json = report
             .to_json(true)
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = RunReport::from_json(&json).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }
@@ -748,6 +949,41 @@ mod tests {
             .replace("\"messages\": 2", "\"messages\": 99");
         let err = RunReport::from_json(&json).expect_err("must reject");
         assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_max_wait_names_owning_pe() {
+        let mut report = sample_report();
+        // Give PE 0 a bigger wait than PE 1 by hand and re-derive.
+        report.per_pe[0].comm.recv_wait_s = 2.5;
+        report.aggregate = Aggregate::from_per_pe(&report.per_pe);
+        assert_eq!(report.aggregate.recv_wait_max_s, 2.5);
+        assert_eq!(report.aggregate.recv_wait_max_pe, 0);
+        assert!(report.aggregate.recv_wait_s >= 2.5, "sum includes the max");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_max_attribution() {
+        let mut report = sample_report();
+        report.per_pe[0].comm.recv_wait_s = 2.5;
+        report.per_pe[1].comm.recv_wait_s = 0.5;
+        report.aggregate = Aggregate::from_per_pe(&report.per_pe);
+        let json = report
+            .to_json(false)
+            .replace("\"recv_wait_max_pe\": 0", "\"recv_wait_max_pe\": 1");
+        let err = RunReport::from_json(&json).expect_err("must reject");
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn parse_rederives_quantiles_from_histograms() {
+        let report = sample_report();
+        let json = report.to_json(false);
+        let parsed = RunReport::from_json(&json).expect("parse");
+        // The sample records one real wait on PE 1; the quantiles come
+        // back from the serialized buckets, not from stored values.
+        assert_eq!(parsed.per_pe[1].comm.recv_wait_count, 1);
+        assert!(parsed.aggregate.recv_wait_p99_s >= parsed.aggregate.recv_wait_p50_s);
     }
 
     /// Schema guard: if this test fails because the key set changed, bump
@@ -765,6 +1001,11 @@ mod tests {
             "aggregate.phases[].count",
             "aggregate.phases[].path",
             "aggregate.phases[].total_s",
+            "aggregate.recv_wait_max_pe",
+            "aggregate.recv_wait_max_s",
+            "aggregate.recv_wait_p50_s",
+            "aggregate.recv_wait_p95_s",
+            "aggregate.recv_wait_p99_s",
             "aggregate.recv_wait_s",
             "p",
             "per_pe",
@@ -777,6 +1018,13 @@ mod tests {
             "per_pe[].comm.dropped[].bytes",
             "per_pe[].comm.dropped[].msgs",
             "per_pe[].comm.dropped[].tag",
+            "per_pe[].comm.recv_wait_by_peer",
+            "per_pe[].comm.recv_wait_by_peer[].peer",
+            "per_pe[].comm.recv_wait_by_peer[].wait_s",
+            "per_pe[].comm.recv_wait_count",
+            "per_pe[].comm.recv_wait_hist",
+            "per_pe[].comm.recv_wait_hist[].bucket",
+            "per_pe[].comm.recv_wait_hist[].count",
             "per_pe[].comm.recv_wait_s",
             "per_pe[].comm.recvd",
             "per_pe[].comm.recvd[].bytes",
@@ -807,7 +1055,7 @@ mod tests {
             "per_pe[].refinements[].level",
             "schema_version",
         ];
-        assert_eq!(SCHEMA_VERSION, 1, "bumped version: update the golden list");
+        assert_eq!(SCHEMA_VERSION, 2, "bumped version: update the golden list");
         assert_eq!(
             RunReport::schema_fingerprint(),
             expected,

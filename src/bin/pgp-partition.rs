@@ -5,15 +5,22 @@
 //! pgp-partition <graph.metis> k=8 [preset=fast|eco|minimal] [p=4]
 //!               [eps=0.03] [seed=0] [class=auto|social|mesh]
 //!               [output=<graph>.part.<k>] [report=<file.json>]
+//!               [trace=<file.json>]
 //! ```
 //!
 //! `report=<file.json>` (or `--report <file.json>`) runs with the
 //! observability recorder enabled and writes the schema-versioned JSON
 //! `RunReport` — per-PE phase timings, per-tag comm counters, per-level
 //! structural metrics (DESIGN.md §10, EXPERIMENTS.md for consuming it).
+//!
+//! `trace=<file.json>` (or `--trace <file.json>`) additionally records a
+//! per-PE event timeline and writes it as Chrome-trace/Perfetto JSON
+//! (DESIGN.md §11) — open at <https://ui.perfetto.dev> to see one track
+//! per PE with spans, collectives, receive waits, and send→recv flows.
 
 use pgp::parhip::{
-    partition_parallel, partition_parallel_observed, GraphClass, ParhipConfig, Preset,
+    partition_parallel, partition_parallel_observed, partition_parallel_traced, GraphClass,
+    ParhipConfig, Preset,
 };
 use pgp::pgp_graph::io::{read_metis_file, write_partition};
 use pgp::pgp_graph::stats::GraphStats;
@@ -26,21 +33,23 @@ fn arg(args: &[String], key: &str) -> Option<String> {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Normalize the conventional `--report <path>` spelling into the
+    // Normalize the conventional `--flag <path>` spellings into the
     // `key=value` form before positional-argument detection.
-    if let Some(i) = args.iter().position(|a| a == "--report") {
-        if i + 1 >= args.len() {
-            eprintln!("error: --report requires a path argument");
-            return ExitCode::from(2);
+    for flag in ["report", "trace"] {
+        if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
+            if i + 1 >= args.len() {
+                eprintln!("error: --{flag} requires a path argument");
+                return ExitCode::from(2);
+            }
+            let flag_path = args.remove(i + 1);
+            args[i] = format!("{flag}={flag_path}");
         }
-        let report_path = args.remove(i + 1);
-        args[i] = format!("report={report_path}");
     }
     let Some(path) = args.iter().find(|a| !a.contains('=')) else {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
              [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] [output=<file>] \
-             [report=<file.json>]"
+             [report=<file.json>] [trace=<file.json>]"
         );
         return ExitCode::from(2);
     };
@@ -99,8 +108,24 @@ fn main() -> ExitCode {
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;
     let report_path = arg(&args, "report");
+    let trace_path = arg(&args, "trace");
     let t0 = std::time::Instant::now();
-    let (partition, stats) = if let Some(report_path) = &report_path {
+    let (partition, stats) = if let Some(trace_path) = &trace_path {
+        let (partition, stats, report, trace) = partition_parallel_traced(&graph, p, &cfg, None);
+        if let Err(e) = std::fs::write(trace_path, pgp::pgp_obs::to_perfetto_json(&trace)) {
+            eprintln!("error writing {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote trace {trace_path}");
+        if let Some(report_path) = &report_path {
+            if let Err(e) = std::fs::write(report_path, report.to_json(false)) {
+                eprintln!("error writing {report_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote run report {report_path}");
+        }
+        (partition, stats)
+    } else if let Some(report_path) = &report_path {
         let (partition, stats, report) = partition_parallel_observed(&graph, p, &cfg);
         if let Err(e) = std::fs::write(report_path, report.to_json(false)) {
             eprintln!("error writing {report_path}: {e}");
