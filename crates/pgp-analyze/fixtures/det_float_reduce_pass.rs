@@ -1,0 +1,11 @@
+// Fixture: float reduction over an *ordered* container -> no finding.
+use std::collections::BTreeMap;
+
+fn chain_sum(xs: &[(u64, f64)]) -> f64 {
+    let mut w: BTreeMap<u64, f64> = BTreeMap::new();
+    for &(b, x) in xs {
+        *w.entry(b).or_insert(0.0) += x;
+    }
+    let total: f64 = w.values().sum::<f64>();
+    total
+}

@@ -1,0 +1,25 @@
+// Fixture: float accumulation over std-hash iteration -> both
+// det-unordered-float-reduce forms must fire (iterator-chain `.sum` and
+// `+=` inside a for loop).
+use std::collections::HashMap;
+
+fn chain_sum(xs: &[(u64, f64)]) -> f64 {
+    let mut w: HashMap<u64, f64> = HashMap::new();
+    for &(b, x) in xs {
+        *w.entry(b).or_insert(0.0) += x;
+    }
+    let total: f64 = w.values().sum::<f64>();
+    total
+}
+
+fn loop_sum(xs: &[(u64, f64)]) -> f64 {
+    let mut w: HashMap<u64, f64> = HashMap::new();
+    for &(b, x) in xs {
+        *w.entry(b).or_insert(0.0) += x;
+    }
+    let mut acc: f64 = 0.0;
+    for kv in &w {
+        acc += *kv.1;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+// Fixture: ordered containers iterate freely, and a std HashMap used only
+// for membership (never iterated) is fine -> no finding.
+use std::collections::{BTreeMap, HashMap};
+
+fn tally(xs: &[u64]) -> u64 {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let mut acc = 0;
+    for (k, v) in m.iter() {
+        acc += k * v;
+    }
+    acc
+}
+
+fn membership(xs: &[u64]) -> bool {
+    let mut s: HashMap<u64, bool> = HashMap::new();
+    for &x in xs {
+        s.insert(x, true);
+    }
+    s.contains_key(&7)
+}

@@ -1,0 +1,28 @@
+// Fixture (analyzed under a determinism-scoped path): iterating a std
+// HashMap -> det-unordered-hash-iter must fire for both the method form
+// and the `for .. in &map` form.
+use std::collections::HashMap;
+
+fn tally(xs: &[u64]) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let mut acc = 0;
+    for (k, v) in m.iter() {
+        acc += k * v;
+    }
+    acc
+}
+
+fn spill(xs: &[u64]) -> u64 {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        seen.insert(x, x);
+    }
+    let mut acc = 0;
+    for kv in &seen {
+        acc += kv.1;
+    }
+    acc
+}

@@ -1,0 +1,17 @@
+// Fixture: a well-formed tags module (op codes are nonzero multiples of
+// 0x100, user offsets below 0x100, all values distinct) and low literal
+// tags outside the collective block -> no finding.
+pub mod tags {
+    pub const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+    pub const BLOCK_SPAN: u64 = 1 << 16;
+    pub const OP_BARRIER: u64 = 1 << 8;
+    pub const OP_BCAST: u64 = 2 << 8;
+    pub const GHOST_LABELS: u64 = 0x01;
+    pub const RUMOR: u64 = 0x52;
+}
+
+fn low_literal(comm: &Comm) {
+    comm.send(1, 7, 1u64);
+    let x: u64 = comm.recv(1, 7);
+    drop(x);
+}

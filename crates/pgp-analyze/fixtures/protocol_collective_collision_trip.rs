@@ -1,0 +1,23 @@
+// Fixture: four distinct layout violations in the tags module plus one
+// literal tag inside the collective block -> protocol-collective-collision
+// must fire (several times).
+pub mod tags {
+    pub const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+    pub const BLOCK_SPAN: u64 = 1 << 16;
+    // Op code with a nonzero low byte: the round counter would corrupt it.
+    pub const OP_BAD: u64 = (1 << 8) + 3;
+    // User offset inside the op-code range (bits 8..16).
+    pub const TOO_HIGH: u64 = 0x1F0;
+    // Two offsets sharing one value: cross-delivery.
+    pub const DUP_A: u64 = 0x05;
+    pub const DUP_B: u64 = 0x05;
+    // Absolute tag parked inside the collective block.
+    pub const ABSOLUTE: u64 = (1 << 48) + 9;
+}
+
+fn literal_in_block(comm: &Comm) {
+    let tag = (1 << 48) + 7;
+    comm.send(0, tag, 1u64);
+    let x: u64 = comm.recv(0, tag);
+    drop(x);
+}

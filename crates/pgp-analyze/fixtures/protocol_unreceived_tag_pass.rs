@@ -1,0 +1,28 @@
+// Fixture: every sent tag has a matching receive (the receive resolves
+// through a `self.tag` struct field, exercising the struct-literal key
+// path) -> no finding.
+pub mod tags {
+    pub const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+    pub const BLOCK_SPAN: u64 = 1 << 16;
+    pub const GOSSIP: u64 = 0x09;
+}
+
+struct Endpoint {
+    tag: u64,
+}
+
+impl Endpoint {
+    fn new(comm: &Comm) -> Self {
+        Self {
+            tag: comm.fresh_tag_block() + tags::GOSSIP,
+        }
+    }
+
+    fn spread(&self, comm: &Comm) {
+        comm.send(1, self.tag, 5u64);
+    }
+
+    fn collect(&self, comm: &Comm) -> Vec<(usize, u64)> {
+        comm.drain::<u64>(self.tag)
+    }
+}

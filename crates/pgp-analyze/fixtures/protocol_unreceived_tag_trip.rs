@@ -1,0 +1,20 @@
+// Fixture: `tags::ORPHAN` is sent but nothing ever receives it -> the
+// messages sit in the mailbox forever; protocol-unreceived-tag must fire.
+pub mod tags {
+    pub const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+    pub const BLOCK_SPAN: u64 = 1 << 16;
+    pub const ORPHAN: u64 = 0x07;
+    pub const FINE: u64 = 0x08;
+}
+
+fn leaky_sender(comm: &Comm) {
+    comm.send(1, comm.fresh_tag_block() + tags::ORPHAN, 5u64);
+}
+
+// A healthy tag alongside, to prove the rule is per-tag.
+fn paired(comm: &Comm) {
+    let tag = comm.fresh_tag_block() + tags::FINE;
+    comm.send(1, tag, 5u64);
+    let x: u64 = comm.recv(1, tag);
+    drop(x);
+}

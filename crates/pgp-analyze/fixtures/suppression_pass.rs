@@ -1,0 +1,16 @@
+// Fixture: a real finding silenced by an `analyze:allow` marker on the
+// line above -> zero findings, one suppression, and NO unused-allow.
+use std::collections::HashMap;
+
+fn tally(xs: &[u64]) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let mut acc = 0;
+    // analyze:allow(det-unordered-hash-iter)
+    for (k, v) in m.iter() {
+        acc += k * v;
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+// Fixture: a suppression marker that suppresses nothing, and one naming an
+// unknown rule -> unused-allow must fire for both.
+fn fine() {
+    let x = 1; // analyze:allow(det-unordered-hash-iter)
+    // analyze:allow(not-a-real-rule)
+    drop(x);
+}

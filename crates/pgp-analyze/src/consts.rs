@@ -1,0 +1,320 @@
+//! Constant-expression evaluation for tag constants.
+//!
+//! Tag values in this codebase are built from integer literals and other
+//! constants with `<<`, `|`, `+`, `-`, `*` (e.g. `1 << 48`, `3 << 8`,
+//! `COLLECTIVE_TAG_BASE + 2`). The protocol rules need the *numeric* values
+//! to classify offsets (op code vs user tag) and detect collisions, so this
+//! module evaluates those expressions over the parsed constant table.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::ConstItem;
+use std::collections::HashMap;
+
+/// A resolved constant: its numeric value plus where it came from.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstValue {
+    /// The evaluated value (wrapping arithmetic, like const eval of `u64`).
+    pub value: u64,
+    /// Index of the defining file in the analysis file list.
+    pub file: usize,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// True when the constant was declared in a tags module.
+    pub in_tags_module: bool,
+}
+
+/// Evaluated constant table for the whole analysis, keyed by name.
+/// Name collisions across files keep the first definition (tag constants
+/// are globally unique by design; the collision rule reports duplicates
+/// by *value*, not by name).
+#[derive(Debug, Default)]
+pub struct ConstTable {
+    map: HashMap<String, ConstValue>,
+}
+
+impl ConstTable {
+    /// Builds the table from every file's const items, resolving
+    /// cross-references iteratively (references to not-yet-evaluated names
+    /// resolve on a later pass; cycles and non-integer initializers stay
+    /// unresolved and are simply absent).
+    pub fn build(files: &[(usize, &[Tok], &[ConstItem])]) -> Self {
+        let mut table = ConstTable::default();
+        // Fixed-point iteration: the dependency graph between tag constants
+        // is shallow (BASE -> BLOCK -> offsets), so a few passes settle it.
+        for _ in 0..4 {
+            let mut progressed = false;
+            for (file, toks, consts) in files {
+                for c in *consts {
+                    if table.map.contains_key(&c.name) {
+                        continue;
+                    }
+                    let expr = &toks[c.expr.0..c.expr.1];
+                    if let Some(value) = eval(expr, &table.map) {
+                        table.map.insert(
+                            c.name.clone(),
+                            ConstValue {
+                                value,
+                                file: *file,
+                                line: c.line,
+                                in_tags_module: c.in_tags_module,
+                            },
+                        );
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        table
+    }
+
+    /// Looks up a constant by name.
+    pub fn get(&self, name: &str) -> Option<&ConstValue> {
+        self.map.get(name)
+    }
+
+    /// Borrows the full name -> value map (for [`eval`]).
+    pub fn known(&self) -> &HashMap<String, ConstValue> {
+        &self.map
+    }
+
+    /// Iterates all resolved constants as `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &ConstValue)> {
+        self.map.iter()
+    }
+}
+
+/// Evaluates an integer constant expression over already-known names.
+/// Returns `None` for anything non-integer (floats, strings, calls,
+/// unknown identifiers).
+pub fn eval(toks: &[Tok], known: &HashMap<String, ConstValue>) -> Option<u64> {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        known,
+    };
+    let v = p.expr(0)?;
+    if p.pos == toks.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Parses the text of one integer literal token (handles `0x`/`0o`/`0b`
+/// prefixes, `_` separators, and type suffixes). `None` for floats.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(rest) = clean.strip_prefix("0x").or(clean.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = clean.strip_prefix("0o").or(clean.strip_prefix("0O")) {
+        (8, rest)
+    } else if let Some(rest) = clean.strip_prefix("0b").or(clean.strip_prefix("0B")) {
+        (2, rest)
+    } else {
+        (10, clean.as_str())
+    };
+    // Cut the type suffix: the first char that is not a digit of this radix.
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty()
+        || suffix.starts_with('.')
+        || suffix.starts_with('e')
+        || suffix.starts_with('E')
+    {
+        return None; // float or empty
+    }
+    u64::from_str_radix(num, radix).ok()
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    known: &'a HashMap<String, ConstValue>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    /// Returns the binary operator at the cursor (joining adjacent puncts
+    /// for `<<`/`>>`) with its binding power, without consuming it.
+    fn peek_op(&self) -> Option<(u8, usize)> {
+        let t = self.peek()?;
+        if t.kind != TokKind::Punct {
+            return None;
+        }
+        let next = self.toks.get(self.pos + 1);
+        match t.text.as_str() {
+            "|" => Some((1, 1)),
+            "^" => Some((2, 1)),
+            "&" => Some((3, 1)),
+            "<" if next.is_some_and(|n| n.is_punct('<')) => Some((4, 2)),
+            ">" if next.is_some_and(|n| n.is_punct('>')) => Some((4, 2)),
+            "+" | "-" => Some((5, 1)),
+            "*" | "/" | "%" => Some((6, 1)),
+            _ => None,
+        }
+    }
+
+    /// Precedence-climbing expression parser.
+    fn expr(&mut self, min_bp: u8) -> Option<u64> {
+        let mut lhs = self.primary()?;
+        while let Some((bp, width)) = self.peek_op() {
+            if bp < min_bp {
+                break;
+            }
+            let op = self.toks[self.pos].text.clone();
+            self.pos += width;
+            let rhs = self.expr(bp + 1)?;
+            lhs = match op.as_str() {
+                "|" => lhs | rhs,
+                "^" => lhs ^ rhs,
+                "&" => lhs & rhs,
+                "<" => lhs.wrapping_shl(rhs as u32),
+                ">" => lhs.wrapping_shr(rhs as u32),
+                "+" => lhs.wrapping_add(rhs),
+                "-" => lhs.wrapping_sub(rhs),
+                "*" => lhs.wrapping_mul(rhs),
+                "/" => lhs.checked_div(rhs)?,
+                "%" => lhs.checked_rem(rhs)?,
+                _ => return None,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn primary(&mut self) -> Option<u64> {
+        let t = self.peek()?;
+        match t.kind {
+            TokKind::Number => {
+                let v = parse_int(&t.text)?;
+                self.pos += 1;
+                // `1u64 as Tag`-style casts: swallow `as Type`.
+                self.swallow_cast();
+                Some(v)
+            }
+            TokKind::Ident => {
+                // Possibly a path like `crate::tags::RUMOR`: the *last*
+                // ident is the name.
+                let mut name = t.text.clone();
+                let mut j = self.pos + 1;
+                while self.toks.get(j).is_some_and(|t| t.is_punct(':'))
+                    && self.toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && self
+                        .toks
+                        .get(j + 2)
+                        .is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    name = self.toks[j + 2].text.clone();
+                    j += 3;
+                }
+                self.pos = j;
+                let v = self.known.get(&name)?.value;
+                self.swallow_cast();
+                Some(v)
+            }
+            TokKind::Punct if t.text == "(" => {
+                self.pos += 1;
+                let v = self.expr(0)?;
+                if !self.peek()?.is_punct(')') {
+                    return None;
+                }
+                self.pos += 1;
+                self.swallow_cast();
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes a trailing `as Type` if present.
+    fn swallow_cast(&mut self) {
+        while self.peek().is_some_and(|t| t.is_ident("as")) {
+            self.pos += 1;
+            // Type: idents and `::` path separators.
+            while self
+                .peek()
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text != "as" || t.is_punct(':'))
+            {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn eval_src(expr: &str) -> Option<u64> {
+        eval(&lex(expr).toks, &HashMap::new())
+    }
+
+    #[test]
+    fn literals_and_radixes() {
+        assert_eq!(eval_src("0x52"), Some(0x52));
+        assert_eq!(eval_src("1_000u64"), Some(1000));
+        assert_eq!(eval_src("0b1010"), Some(10));
+        assert_eq!(eval_src("1.5"), None);
+    }
+
+    #[test]
+    fn shifts_and_precedence() {
+        assert_eq!(eval_src("1 << 48"), Some(1 << 48));
+        assert_eq!(eval_src("3 << 8"), Some(3 << 8));
+        assert_eq!(eval_src("1 + 2 * 3"), Some(7));
+        assert_eq!(eval_src("(1 + 2) * 3"), Some(9));
+        assert_eq!(eval_src("1 << 4 | 2"), Some(18));
+    }
+
+    #[test]
+    fn table_resolves_cross_references_in_any_order() {
+        let src = "pub const DERIVED: u64 = BASE + OFF;\npub const BASE: u64 = 1 << 16;\npub const OFF: u64 = 0x02;";
+        let lexed = lex(src);
+        let items = parse_items(&lexed.toks, "crates/x/src/tags.rs");
+        let table = ConstTable::build(&[(0, &lexed.toks, &items.consts)]);
+        assert_eq!(table.get("DERIVED").map(|c| c.value), Some((1 << 16) + 2));
+        assert!(table.get("DERIVED").expect("derived").in_tags_module);
+    }
+
+    #[test]
+    fn paths_resolve_by_last_segment() {
+        let mut known = HashMap::new();
+        known.insert(
+            "RUMOR".to_string(),
+            ConstValue {
+                value: 0x52,
+                file: 0,
+                line: 1,
+                in_tags_module: true,
+            },
+        );
+        assert_eq!(
+            eval(&lex("crate::tags::RUMOR + 1").toks, &known),
+            Some(0x53)
+        );
+    }
+
+    #[test]
+    fn casts_are_transparent() {
+        assert_eq!(eval_src("8 as u64"), Some(8));
+        assert_eq!(eval_src("(1 << 16) as u64 * 2"), Some(1 << 17));
+    }
+
+    #[test]
+    fn non_integer_exprs_stay_unresolved() {
+        assert_eq!(eval_src("foo()"), None);
+        assert_eq!(eval_src("UNKNOWN + 1"), None);
+    }
+}

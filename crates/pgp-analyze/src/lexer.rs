@@ -1,0 +1,410 @@
+//! A small but real Rust lexer.
+//!
+//! Produces a flat token stream with line numbers — identifiers, literals,
+//! string/char literals (contents preserved but *typed*, so rules can never
+//! match identifiers inside strings, the classic line-regex failure mode),
+//! lifetimes, and single-character punctuation. Comments are consumed here;
+//! `// analyze:allow(rule-id)` markers are extracted into a side table with
+//! their line numbers for the suppression pass.
+//!
+//! Multi-character operators (`::`, `<<`, `->`) are left as adjacent
+//! single-character punct tokens; the parser and rule matchers consume them
+//! as sequences, which keeps the lexer trivially correct.
+
+/// Token categories. The lexer never fails: unknown bytes become punct
+/// tokens and flow through harmlessly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `comm`, `send`, ...).
+    Ident,
+    /// An integer or float literal, suffix included (`42u64`, `0x52`).
+    Number,
+    /// A string or byte-string literal (quotes stripped, escapes raw).
+    Str,
+    /// A char or byte literal.
+    Char,
+    /// A lifetime (`'a`), without the quote.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `<`, `{`, ...).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`], exactly one character).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the punct character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One `// analyze:allow(rule, ...)` suppression marker.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule identifiers inside the parentheses.
+    pub rules: Vec<String>,
+}
+
+/// A lexed file: tokens plus the suppression markers found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Suppression markers, in line order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes `text`. Infallible: malformed input degrades to punct tokens.
+pub fn lex(text: &str) -> Lexed {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                // Doc comments (`///`, `//!`) are documentation: a marker
+                // *mentioned* there must not suppress anything.
+                let is_doc = matches!(b.get(i + 2), Some(b'/') | Some(b'!'));
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if !is_doc {
+                    scan_allow(&text[start..i], line, &mut out.allows);
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(text, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (tok, ni, nl) = lex_raw_or_byte(text, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (tok, ni) = lex_char_or_lifetime(text, i, line);
+                out.toks.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Float continuation: `1.5`, `1e9` handled by the alnum run;
+                // a `.` followed by a digit extends the literal.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: text[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts `r"`, `r#`-raw, `b"`, `br"` or `br#`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after_prefix = |mut j: usize| -> bool {
+        // Optional run of #'s, then a quote.
+        while j < rest.len() && rest[j] == b'#' {
+            j += 1;
+        }
+        j < rest.len() && rest[j] == b'"'
+    };
+    match rest {
+        [b'r', ..] => after_prefix(1),
+        [b'b', b'"', ..] => true,
+        [b'b', b'r', ..] => after_prefix(2),
+        _ => false,
+    }
+}
+
+/// Lexes a normal `"..."` string starting at `i`. Returns (token, next
+/// index, next line).
+fn lex_string(text: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let b = text.as_bytes();
+    let tok_line = line;
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'"' => break,
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: text[start..end].to_string(),
+            line: tok_line,
+        },
+        (end + 1).min(b.len()),
+        line,
+    )
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` starting at `i`.
+fn lex_raw_or_byte(text: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let b = text.as_bytes();
+    let tok_line = line;
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    // Opening quote.
+    j += 1;
+    let start = j;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+            j += 1;
+        } else if b[j] == b'"' && b[j..].starts_with(&closer) {
+            break;
+        } else if b[j] == b'\\' && hashes == 0 {
+            j += 2;
+        } else {
+            j += 1;
+        }
+    }
+    let end = j.min(b.len());
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: text[start..end].to_string(),
+            line: tok_line,
+        },
+        (end + closer.len()).min(b.len()),
+        line,
+    )
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal) at `i`.
+fn lex_char_or_lifetime(text: &str, i: usize, line: u32) -> (Tok, usize) {
+    let b = text.as_bytes();
+    // Lifetime: quote, ident start, ident run, and *no* closing quote.
+    if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') {
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'\'' {
+            return (
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: text[i + 1..j].to_string(),
+                    line,
+                },
+                j,
+            );
+        }
+    }
+    // Char literal: consume until the closing quote, honoring one escape.
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+    } else if j < b.len() {
+        j += 1;
+    }
+    // Multibyte chars: walk to the quote defensively.
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: text[i + 1..j.min(b.len())].to_string(),
+            line,
+        },
+        (j + 1).min(b.len()),
+    )
+}
+
+/// Extracts `analyze:allow(rule-a, rule-b)` markers from a line comment.
+fn scan_allow(comment: &str, line: u32, allows: &mut Vec<Allow>) {
+    let Some(pos) = comment.find("analyze:allow(") else {
+        return;
+    };
+    let after = &comment[pos + "analyze:allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = after[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        allows.push(Allow { line, rules });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_in_strings_are_not_ident_tokens() {
+        let toks = kinds(r#"let x = "comm.send(0, 1, v)";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Ident && t == "send")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("send")));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a /* x /* y */ z */ b\nc");
+        let idents: Vec<_> = l.toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 1),
+                ("c".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let l = lex(r##"let s = r#"a "quoted" b"#; done"##);
+        assert!(l.toks.iter().any(|t| t.is_ident("done")));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("quoted")));
+    }
+
+    #[test]
+    fn allow_markers_are_collected_with_lines() {
+        let src = "fn f() {}\n// analyze:allow(det-unordered-hash-iter, spmd-rank-guarded-collective)\nfn g() {}\n";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].line, 2);
+        assert_eq!(
+            l.allows[0].rules,
+            vec!["det-unordered-hash-iter", "spmd-rank-guarded-collective"]
+        );
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_radix() {
+        let toks = kinds("let a = 0x52u64 + 1_000 << 8;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["0x52u64", "1_000", "8"]);
+    }
+}

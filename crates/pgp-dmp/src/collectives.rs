@@ -8,17 +8,11 @@
 #![allow(clippy::needless_range_loop)] // rank-indexed receive loops are clearest as written
 
 use crate::comm::{Comm, CommError, Tag};
-use std::time::Duration;
-
 // Operation codes mixed into the per-call tag block (diagnostic only; the
-// block number alone already guarantees uniqueness across calls).
-const OP_BARRIER: u64 = 0 << 8;
-const OP_BCAST: u64 = 1 << 8;
-const OP_REDUCE: u64 = 2 << 8;
-const OP_GATHER: u64 = 3 << 8;
-const OP_ALLGATHER: u64 = 4 << 8;
-const OP_ALLTOALL: u64 = 5 << 8;
-const OP_SCAN: u64 = 6 << 8;
+// block number alone already guarantees uniqueness across calls). Defined
+// centrally in `tags` with the payload type each op carries.
+use crate::tags::{OP_ALLGATHER, OP_ALLTOALL, OP_BARRIER, OP_BCAST, OP_GATHER, OP_REDUCE, OP_SCAN};
+use std::time::Duration;
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, no central coordinator.
 pub fn barrier(comm: &Comm) {

@@ -202,8 +202,12 @@ fn pack<T: Send + 'static>(msg: T) -> Payload {
 /// recoverable through `dyn Any`).
 fn unpack<T: Send + 'static>(payload: Payload, src: usize, tag: Tag) -> T {
     fn mismatch<T>(src: usize, tag: Tag, actual: &str) -> ! {
+        // `tags::describe` names the offset constant (OP_BCAST,
+        // GHOST_LABELS, ...) so the runtime panic and the static
+        // `cargo xtask analyze` finding point at the same protocol entry.
         panic!(
-            "type mismatch on tag {tag} from {src}: expected {}, got {actual}",
+            "type mismatch on {} from {src}: expected {}, got {actual}",
+            crate::tags::describe(tag),
             std::any::type_name::<T>()
         )
     }
@@ -546,7 +550,9 @@ impl Drop for Comm {
 
 /// Tags below this bound are free for user messages. Tag *blocks* handed
 /// out by [`Comm::fresh_tag_block`] start here; each block spans 2^16 tags.
-pub const COLLECTIVE_TAG_BASE: Tag = 1 << 48;
+/// (Defined in [`crate::tags`], the tag-protocol source of truth;
+/// re-exported here for the comm-layer callers that predate it.)
+pub use crate::tags::COLLECTIVE_TAG_BASE;
 
 impl Comm {
     /// This PE's rank in `0..size`.

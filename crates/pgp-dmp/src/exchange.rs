@@ -29,6 +29,7 @@
 
 use crate::comm::{Comm, Tag};
 use crate::dgraph::DistGraph;
+use crate::tags;
 use pgp_graph::ids;
 use pgp_graph::Node;
 
@@ -103,7 +104,7 @@ impl LabelExchange {
         labels: &mut [Node],
         on_update: impl FnMut(Node, Node, Node),
     ) {
-        let tag = comm.fresh_tag_block();
+        let tag = comm.fresh_tag_block() + tags::GHOST_LABELS;
         self.send_buffers(comm, graph, tag);
         if let Some(prev) = self.prev_tag {
             self.receive_and_apply(comm, graph, labels, prev, on_update);
@@ -126,7 +127,7 @@ impl LabelExchange {
         labels: &mut [Node],
         on_update: impl FnMut(Node, Node, Node),
     ) {
-        let tag = comm.fresh_tag_block();
+        let tag = comm.fresh_tag_block() + tags::GHOST_LABELS;
         self.send_buffers(comm, graph, tag);
         self.receive_and_apply(comm, graph, labels, tag, on_update);
     }
@@ -156,7 +157,9 @@ impl LabelExchange {
             let replacement = self.pool.pop().unwrap_or_default();
             let buf = std::mem::replace(&mut self.buffers[i], replacement);
             let n = ids::count_global(buf.len());
-            comm.send_counted(ids::pe_index(pe), tag, buf, n);
+            // Explicit payload type: the `tags::GHOST_LABELS` protocol
+            // contract `cargo xtask analyze` checks against the recv side.
+            comm.send_counted::<Vec<(Node, Node)>>(ids::pe_index(pe), tag, buf, n);
         }
     }
 

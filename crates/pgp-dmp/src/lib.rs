@@ -15,12 +15,15 @@
 //! * [`dgraph`] — the distributed graph of Section IV-A: contiguous node
 //!   ranges, ghost nodes, global↔local ID maps, per-adjacent-PE buffers.
 //! * [`exchange`] — the phase-overlapped ghost-label exchange of §IV-A.
+//! * [`tags`] — the tag-protocol constants (every named tag offset and its
+//!   payload type; the ground truth for `cargo xtask analyze`).
 
 pub mod collectives;
 pub mod comm;
 pub mod dgraph;
 pub mod exchange;
 pub mod runner;
+pub mod tags;
 
 pub use comm::{Comm, CommError, FaultHook, SendFault, Tag, Universe};
 pub use dgraph::DistGraph;

@@ -5,6 +5,7 @@
 //! drain their mailbox opportunistically between operations.
 
 use crate::population::{Individual, Population};
+use pgp_dmp::tags;
 use pgp_dmp::{Comm, Tag};
 use pgp_graph::{BlockId, CsrGraph, Weight};
 use rand::Rng;
@@ -21,7 +22,7 @@ impl Rumor {
     /// so the tag blocks agree group-wide).
     pub fn new(comm: &Comm) -> Self {
         Self {
-            tag: comm.fresh_tag_block() + 0x52,
+            tag: comm.fresh_tag_block() + tags::RUMOR,
         }
     }
 
