@@ -19,6 +19,18 @@
 //! 3. **sclp** — one `parallel_sclp_cluster` and one
 //!    `parallel_sclp_refine` run on the same graph; per-round time from
 //!    max per-PE CPU seconds.
+//!
+//!    3b. **sclp thread scaling** — the same cluster run under the
+//!    intra-PE worker pool (DESIGN.md §13) at `threads_per_pe` ∈
+//!    {1, 2, 4}, timed by per-PE wall clock (worker threads are invisible
+//!    to per-thread CPU accounting). On a single-core container the x4
+//!    ratio sits at or below 1.0 — the ≥ 1.5× target is a multi-core
+//!    number; CI uploads this section from its multi-core runners.
+//!
+//!    3c. **sclp warm-call overhead** — repeated zero-round
+//!    `parallel_sclp_cluster_with_scratch` calls on a warm scratch:
+//!    the fixed per-call cost, dominated before the cached
+//!    `degree_fingerprint` by re-hashing the whole `xadj` array.
 //! 4. **end_to_end** — full `partition_parallel` on the R-MAT harness
 //!    with fixed seeds: wall clock, max per-PE CPU time, edge cut,
 //!    imbalance, and the message/element counters.
@@ -222,6 +234,84 @@ fn main() {
     let refine_cpu = refine_times.into_iter().fold(0.0f64, f64::max);
     let sclp_refine_round_s = refine_cpu / refine_rounds as f64;
 
+    // ---- 3b. sclp thread scaling: worker pool at T ∈ {1, 2, 4} ---------
+    // Per-PE wall time around the SCLP call itself (graph distribution
+    // excluded), max over PEs, best over reps; divided by rounds.
+    let cluster_round_at = |threads: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let rc = pgp_dmp::RunConfig {
+                threads_per_pe: threads,
+                ..Default::default()
+            };
+            let results = pgp_dmp::run_config(p, rc, |comm| {
+                let dg = DistGraph::from_global(comm, &g);
+                let mut labels = pgp_lp::singleton_labels(&dg);
+                let u = (dg.total_node_weight() / 16).max(2);
+                let t0 = Instant::now();
+                let stats = pgp_lp::parallel_sclp_cluster(
+                    comm,
+                    &dg,
+                    u,
+                    sclp_iters,
+                    seed,
+                    &mut labels,
+                    None,
+                );
+                (t0.elapsed().as_secs_f64(), stats.rounds.max(1))
+            });
+            let (wall, rounds) = results
+                .into_iter()
+                .map(|r| r.expect("fault-free sclp cannot fail"))
+                .fold((0.0f64, 1usize), |(w, r), (pw, pr)| (w.max(pw), r.max(pr)));
+            best = best.min(wall / rounds as f64);
+        }
+        best
+    };
+    let sclp_cluster_round_t1_s = cluster_round_at(1);
+    let sclp_cluster_round_t2_s = cluster_round_at(2);
+    let sclp_cluster_round_t4_s = cluster_round_at(4);
+    let sclp_thread_scaling_x4 = sclp_cluster_round_t1_s / sclp_cluster_round_t4_s;
+
+    // ---- 3c. sclp warm-call overhead: cached degree fingerprint --------
+    // Zero-round calls on a warm scratch isolate the per-call fixed cost:
+    // `SclpScratch::prepare` (an O(1) fingerprint compare since the cache
+    // moved onto `DistGraph`) plus cluster-weight init and exchange setup.
+    let warm_calls: u32 = if smoke { 50 } else { 500 };
+    let warm_walls = run(p, |comm| {
+        let dg = DistGraph::from_global(comm, &g);
+        let mut labels = pgp_lp::singleton_labels(&dg);
+        let u = (dg.total_node_weight() / 16).max(2);
+        let mut scratch = pgp_lp::SclpScratch::new();
+        // One real call fills the scratch caches.
+        pgp_lp::parallel_sclp_cluster_with_scratch(
+            comm,
+            &dg,
+            u,
+            1,
+            seed,
+            &mut labels,
+            None,
+            &mut scratch,
+        );
+        let t0 = Instant::now();
+        for _ in 0..warm_calls {
+            pgp_lp::parallel_sclp_cluster_with_scratch(
+                comm,
+                &dg,
+                u,
+                0,
+                seed,
+                &mut labels,
+                None,
+                &mut scratch,
+            );
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    let warm_wall = warm_walls.into_iter().fold(0.0f64, f64::max);
+    let sclp_warm_call_us = warm_wall / warm_calls as f64 * 1e6;
+
     // ---- 4. end-to-end R-MAT partition ---------------------------------
     let mut cuts: Vec<u64> = Vec::new();
     let mut walls: Vec<f64> = Vec::new();
@@ -268,7 +358,10 @@ fn main() {
          \"obs\": {{ \"ping_disabled_msgs_per_s\": {opd:.0}, \
          \"ping_report_msgs_per_s\": {opr:.0}, \"ping_trace_msgs_per_s\": {opt:.0} }},\n  \
          \"exchange\": {{ \"updates_per_s\": {exu:.0}, \"updates\": {exn}, \"phases\": {exp} }},\n  \
-         \"sclp\": {{ \"cluster_round_s\": {cr:.6}, \"refine_round_s\": {rr:.6} }},\n  \
+         \"sclp\": {{ \"cluster_round_s\": {cr:.6}, \"refine_round_s\": {rr:.6}, \
+         \"cluster_round_t1_s\": {ct1:.6}, \"cluster_round_t2_s\": {ct2:.6}, \
+         \"cluster_round_t4_s\": {ct4:.6}, \"thread_scaling_x4\": {tsx:.3}, \
+         \"warm_call_us\": {wcu:.2} }},\n  \
          \"end_to_end\": {{ \"wall_s\": {wall:.4}, \"cpu_max_s\": {cpum:.4}, \
          \"avg_cut\": {cut:.1}, \"cuts\": {cuts:?}, \"max_imbalance\": {imb:.5}, \
          \"messages\": {msgs}, \"elements\": {elems} }}\n}}\n",
@@ -284,6 +377,11 @@ fn main() {
         exp = exchange_phases,
         cr = sclp_cluster_round_s,
         rr = sclp_refine_round_s,
+        ct1 = sclp_cluster_round_t1_s,
+        ct2 = sclp_cluster_round_t2_s,
+        ct4 = sclp_cluster_round_t4_s,
+        tsx = sclp_thread_scaling_x4,
+        wcu = sclp_warm_call_us,
         wall = e2e_wall_s,
         cpum = e2e_cpu_max_s,
         cut = avg_cut,

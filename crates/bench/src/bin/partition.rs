@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run -p bench --release --bin partition -- \
 //!     [graph=amazon] [tier=small] [k=4] [p=4] [seed=1] [preset=fast] \
-//!     [report=results/run_report.json] [trace=results/trace.json]
+//!     [threads_per_pe=1] [report=results/run_report.json] \
+//!     [trace=results/trace.json]
 //! ```
 //!
 //! `--report <path>` / `--trace <path>` are accepted as aliases for the
@@ -53,10 +54,13 @@ fn main() {
         benchmark_set::GraphClass::Social => GraphClass::Social,
         benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
     };
-    let cfg = ParhipConfig::preset(preset, k, class, seed);
+    let threads_per_pe = arg_usize(&args, "threads_per_pe", 1);
+    let mut cfg = ParhipConfig::preset(preset, k, class, seed);
+    cfg.threads_per_pe = threads_per_pe;
     let graph = &inst.graph;
     println!(
-        "partition: {} (n = {}, m = {}), k = {k}, p = {p}, preset = {preset:?}, seed = {seed}",
+        "partition: {} (n = {}, m = {}), k = {k}, p = {p}, preset = {preset:?}, seed = {seed}, \
+         threads_per_pe = {threads_per_pe}",
         inst.name,
         graph.n(),
         graph.m()

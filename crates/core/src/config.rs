@@ -65,6 +65,12 @@ pub struct ParhipConfig {
     /// falls below one node and freezes coarsening, so we keep the paper's
     /// *cluster size* rather than its constant (see DESIGN.md §2).
     pub mesh_first_cluster_weight: Weight,
+    /// Intra-PE worker threads for the hybrid SCLP (DESIGN.md §13).
+    /// `1` (the default; `0` is treated the same) runs every PE
+    /// single-threaded — bit-identical to the classic path. Any value
+    /// ≥ 2 enables the chunked superstep path, whose result is fixed by
+    /// `(seed, p)` and identical across all thread counts ≥ 2.
+    pub threads_per_pe: usize,
 }
 
 impl ParhipConfig {
@@ -84,6 +90,7 @@ impl ParhipConfig {
             deterministic: false,
             social_first_factor: 14.0,
             mesh_first_cluster_weight: 32,
+            threads_per_pe: 1,
         };
         match preset {
             Preset::Fast => base,
@@ -167,6 +174,10 @@ impl ParhipConfig {
         mix(u64::from(self.deterministic));
         mix(self.social_first_factor.to_bits());
         mix(self.mesh_first_cluster_weight);
+        // Only the single-threaded vs. chunked distinction affects the
+        // result; all worker counts ≥ 2 produce identical output, so a
+        // checkpoint taken at threads_per_pe = 2 may resume at 4.
+        mix(if self.threads_per_pe <= 1 { 1 } else { 2 });
         h
     }
 }
@@ -209,6 +220,22 @@ mod tests {
         }
         // Deterministic per (seed, cycle).
         assert_eq!(c.cluster_factor(3), c.cluster_factor(3));
+    }
+
+    #[test]
+    fn fingerprint_normalizes_worker_counts() {
+        let base = ParhipConfig::fast(4, GraphClass::Social, 9);
+        let with_threads = |t: usize| ParhipConfig {
+            threads_per_pe: t,
+            ..base.clone()
+        };
+        // 0 and 1 are the same single-threaded path; every N ≥ 2 is the
+        // same chunked path (checkpoints transfer between 2 and 4)...
+        assert_eq!(with_threads(0).fingerprint(), with_threads(1).fingerprint());
+        assert_eq!(with_threads(2).fingerprint(), with_threads(4).fingerprint());
+        // ...but the two paths produce different results, so they must
+        // not share a fingerprint.
+        assert_ne!(with_threads(1).fingerprint(), with_threads(2).fingerprint());
     }
 
     #[test]

@@ -558,13 +558,22 @@ pub fn partition_parallel_with_input(
     partition_parallel_impl(graph, p, cfg, Some(input))
 }
 
+/// The runner configuration implied by `cfg` — currently just the
+/// intra-PE worker budget (the observed/traced entry points add `obs`).
+fn run_config_for(cfg: &ParhipConfig) -> pgp_dmp::RunConfig {
+    pgp_dmp::RunConfig {
+        threads_per_pe: cfg.threads_per_pe,
+        ..Default::default()
+    }
+}
+
 fn partition_parallel_impl(
     graph: &CsrGraph,
     p: usize,
     cfg: &ParhipConfig,
     input: Option<&Partition>,
 ) -> (Partition, ParhipStats) {
-    let results = pgp_dmp::run(p, |comm| {
+    let results = pgp_dmp::run_config(p, run_config_for(cfg), |comm| {
         let dg = DistGraph::from_global(comm, graph);
         let local_input: Option<Vec<Node>> = input.map(|ip| {
             (0..ids::node_of_index(dg.n_local() + dg.n_ghost()))
@@ -575,7 +584,11 @@ fn partition_parallel_impl(
         let all = allgatherv(comm, local);
         (all, stats)
     });
-    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free run cannot fail structurally");
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats)
@@ -595,7 +608,7 @@ pub fn partition_parallel_observed(
     let obs = pgp_obs::Obs::new(p);
     let run_cfg = pgp_dmp::RunConfig {
         obs: Some(std::sync::Arc::clone(&obs)),
-        ..Default::default()
+        ..run_config_for(cfg)
     };
     let results = pgp_dmp::run_config(p, run_cfg, |comm| {
         let dg = DistGraph::from_global(comm, graph);
@@ -637,7 +650,7 @@ pub fn partition_parallel_traced(
         pgp_obs::Obs::with_trace(p, trace_capacity.unwrap_or(pgp_obs::DEFAULT_TRACE_CAPACITY));
     let run_cfg = pgp_dmp::RunConfig {
         obs: Some(std::sync::Arc::clone(&obs)),
-        ..Default::default()
+        ..run_config_for(cfg)
     };
     let results = pgp_dmp::run_config(p, run_cfg, |comm| {
         let dg = DistGraph::from_global(comm, graph);
@@ -666,13 +679,17 @@ pub fn partition_parallel_with_store(
     cfg: &ParhipConfig,
     store: &CheckpointStore,
 ) -> (Partition, ParhipStats) {
-    let results = pgp_dmp::run(p, |comm| {
+    let results = pgp_dmp::run_config(p, run_config_for(cfg), |comm| {
         let dg = DistGraph::from_global(comm, graph);
         let (local, stats) = parhip_distributed_checkpointed(comm, &dg, cfg, None, store);
         let all = allgatherv(comm, local);
         (all, stats)
     });
-    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free run cannot fail structurally");
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats)
@@ -694,13 +711,17 @@ pub fn partition_parallel_resume(
     let checkpoint = store
         .latest()
         .expect("partition_parallel_resume: the checkpoint store is empty");
-    let results = pgp_dmp::run(p, |comm| {
+    let results = pgp_dmp::run_config(p, run_config_for(cfg), |comm| {
         let dg = DistGraph::from_global(comm, graph);
         let (local, stats) = parhip_distributed_resume(comm, &dg, cfg, &checkpoint, Some(store));
         let all = allgatherv(comm, local);
         (all, stats)
     });
-    let (assignment, mut stats) = results.into_iter().next().expect("at least one PE");
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free run cannot fail structurally");
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats)

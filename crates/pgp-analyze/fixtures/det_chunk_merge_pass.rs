@@ -1,0 +1,48 @@
+// Fixture: the deterministic shapes stay silent. A pool function may use
+// hash containers for lookup (`.get`/`.entry`) and must merge per-chunk
+// outputs in chunk-index order (a plain Vec walk); a non-pool function in
+// the same file may iterate its Fx containers freely — with a fixed
+// hasher and single-threaded insertion that order is reproducible.
+use rustc_hash::FxHashMap;
+
+fn merge_in_chunk_order(bounds: &[usize]) -> i64 {
+    let outs = run_chunks(4, bounds, |_c, lo, hi| (hi - lo) as i64);
+    let mut weights: FxHashMap<u64, i64> = FxHashMap::default();
+    let mut total = 0;
+    for (i, d) in outs.iter().enumerate() {
+        *weights.entry(i as u64).or_insert(0) += d;
+        total += weights.get(&(i as u64)).copied().unwrap_or(0);
+    }
+    total
+}
+
+fn worker_local_map_is_not_the_outputs(bounds: &[usize]) -> i64 {
+    // The closure's own FxHashMap types a worker-local; `outs` itself is
+    // an ordered Vec and may be iterated freely (the real merge shape).
+    let outs = run_chunks(2, bounds, |_c, lo, hi| {
+        let mut wdelta: FxHashMap<u64, i64> = FxHashMap::default();
+        *wdelta.entry(lo as u64).or_insert(0) += (hi - lo) as i64;
+        wdelta.get(&(lo as u64)).copied().unwrap_or(0)
+    });
+    let mut total = 0;
+    for out in outs.iter() {
+        total += out;
+    }
+    total
+}
+
+fn sequential_tally(xs: &[u64]) -> i64 {
+    let mut m: FxHashMap<u64, i64> = FxHashMap::default();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let mut total = 0;
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+fn run_chunks(_threads: usize, bounds: &[usize], work: impl Fn(usize, usize, usize) -> i64) -> Vec<i64> {
+    (1..bounds.len()).map(|c| work(c - 1, bounds[c - 1], bounds[c])).collect()
+}

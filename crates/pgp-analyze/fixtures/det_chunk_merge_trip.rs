@@ -1,0 +1,38 @@
+// Fixture (analyzed under crates/pgp-lp/src/): a worker-pool function —
+// it calls `run_chunks` — merging per-worker results by iterating an
+// FxHashMap. The fixed hasher makes order a function of insertion order,
+// and insertion order here depends on which chunks each worker claimed,
+// so det-unordered-chunk-merge must fire for both the method form and
+// the `for .. in &map` form. Note the plain det-unordered-hash-iter rule
+// stays silent: these are Fx containers, not std RandomState ones.
+use rustc_hash::FxHashMap;
+
+fn merge_weights(bounds: &[usize]) -> i64 {
+    let outs = run_chunks(1, bounds, |_c, lo, hi| (hi - lo) as i64);
+    let mut deltas: FxHashMap<u64, i64> = FxHashMap::default();
+    for (i, d) in outs.iter().enumerate() {
+        *deltas.entry(i as u64).or_insert(0) += d;
+    }
+    let mut total = 0;
+    for (_, d) in deltas.iter() {
+        total += d;
+    }
+    total
+}
+
+fn merge_moves(bounds: &[usize]) -> i64 {
+    let outs = run_chunks(2, bounds, |_c, lo, hi| (hi - lo) as i64);
+    let mut moved = FxHashMap::default();
+    for (i, d) in outs.iter().enumerate() {
+        moved.insert(i as u64, *d);
+    }
+    let mut total = 0;
+    for kv in &moved {
+        total += kv.1;
+    }
+    total
+}
+
+fn run_chunks(_threads: usize, bounds: &[usize], work: impl Fn(usize, usize, usize) -> i64) -> Vec<i64> {
+    (1..bounds.len()).map(|c| work(c - 1, bounds[c - 1], bounds[c])).collect()
+}

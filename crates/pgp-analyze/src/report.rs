@@ -15,6 +15,9 @@ pub const RULE_RANK_GUARDED_COLLECTIVE: &str = "spmd-rank-guarded-collective";
 pub const RULE_HASH_ITER: &str = "det-unordered-hash-iter";
 /// Rule: floating-point reduction over an unordered hash iteration.
 pub const RULE_FLOAT_REDUCE: &str = "det-unordered-float-reduce";
+/// Rule: a worker-pool function in `pgp-lp` iterates a hash container —
+/// the cross-thread merge must go by chunk index, not map order.
+pub const RULE_CHUNK_MERGE: &str = "det-unordered-chunk-merge";
 /// Rule: an `analyze:allow` marker that suppressed nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 
@@ -44,6 +47,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_FLOAT_REDUCE,
         "floating-point accumulation over an unordered hash iteration (result depends on iteration order)",
+    ),
+    (
+        RULE_CHUNK_MERGE,
+        "a worker-pool function in pgp-lp iterates a hash container (Fx or std): per-worker insertion order depends on chunk claiming, so cross-thread merges must go by chunk index",
     ),
     (
         RULE_UNUSED_ALLOW,

@@ -114,7 +114,7 @@ impl FaultPlan {
         RunConfig {
             deadline,
             fault_hook: Some(Arc::new(self)),
-            obs: None,
+            ..RunConfig::default()
         }
     }
 

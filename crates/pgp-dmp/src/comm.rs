@@ -371,6 +371,10 @@ pub struct Universe {
     /// Observability registry; `None` = recording disabled (every recorder
     /// hook is a single branch).
     obs: Option<Arc<Obs>>,
+    /// Intra-PE worker-thread budget published to algorithms via
+    /// [`Comm::threads_per_pe`]; the comm layer itself never spawns with
+    /// it. Always ≥ 1 (constructors normalize 0 to 1).
+    threads_per_pe: usize,
 }
 
 impl Universe {
@@ -391,15 +395,29 @@ impl Universe {
         Self::with_config(size, deadline, hook, None)
     }
 
-    /// The fully general constructor: watchdog `deadline`, fault-injection
-    /// `hook`, and observability registry `obs` (see `pgp-obs`). When `obs`
-    /// is set, every [`Comm`] handed out by [`Universe::comm`] records
-    /// sends/receives/waits into its rank's cell.
+    /// Like [`Universe::with_config_threads`] with no intra-PE worker pool
+    /// (`threads_per_pe = 1`), the classic single-threaded-PE substrate.
     pub fn with_config(
         size: usize,
         deadline: Option<Duration>,
         hook: Option<Arc<dyn FaultHook>>,
         obs: Option<Arc<Obs>>,
+    ) -> Arc<Self> {
+        Self::with_config_threads(size, deadline, hook, obs, 1)
+    }
+
+    /// The fully general constructor: watchdog `deadline`, fault-injection
+    /// `hook`, observability registry `obs` (see `pgp-obs`), and the
+    /// intra-PE worker-thread budget `threads_per_pe` (`0` is normalized
+    /// to `1` = no worker pool). When `obs` is set, every [`Comm`] handed
+    /// out by [`Universe::comm`] records sends/receives/waits into its
+    /// rank's cell.
+    pub fn with_config_threads(
+        size: usize,
+        deadline: Option<Duration>,
+        hook: Option<Arc<dyn FaultHook>>,
+        obs: Option<Arc<Obs>>,
+        threads_per_pe: usize,
     ) -> Arc<Self> {
         assert!(size > 0, "need at least one PE");
         if let Some(o) = &obs {
@@ -424,6 +442,7 @@ impl Universe {
             deadline,
             hook,
             obs,
+            threads_per_pe: threads_per_pe.max(1),
         })
     }
 
@@ -577,6 +596,15 @@ impl Comm {
     #[inline]
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Intra-PE worker-thread budget configured for this run (always ≥ 1).
+    /// `1` means compute phases run single-threaded on the PE thread; `N`
+    /// invites algorithms (e.g. `pgp-lp`'s chunked SCLP) to use up to `N`
+    /// scoped worker threads between communication steps.
+    #[inline]
+    pub fn threads_per_pe(&self) -> usize {
+        self.universe.threads_per_pe
     }
 
     /// Sends `msg` to PE `dst` with `tag`. Never blocks.
@@ -1174,6 +1202,7 @@ mod chaos_tests {
             obs: None,
             deadline: Some(Duration::from_secs(5)),
             fault_hook: Some(Arc::new(DelayEveryNth { n: 3, holds: 2 })),
+            ..RunConfig::default()
         };
         let results = run_config(2, cfg, |comm| {
             if comm.rank() == 0 {
@@ -1210,6 +1239,7 @@ mod chaos_tests {
                 dst: 1,
                 tag: 7,
             })),
+            ..RunConfig::default()
         };
         let results = run_config(2, cfg, |comm| {
             if comm.rank() == 0 {
@@ -1241,6 +1271,7 @@ mod chaos_tests {
             obs: None,
             deadline: Some(Duration::from_secs(5)),
             fault_hook: Some(Arc::new(KillAt { rank: 1, phase: 0 })),
+            ..RunConfig::default()
         };
         let t0 = Instant::now();
         let results = run_config(2, cfg, |comm| {
@@ -1279,6 +1310,7 @@ mod chaos_tests {
                 dst: 1,
                 tag: 99,
             })),
+            ..RunConfig::default()
         };
         let results = run_config(2, cfg, |comm| {
             if comm.rank() == 0 {

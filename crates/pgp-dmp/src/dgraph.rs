@@ -87,6 +87,9 @@ pub struct DistGraph {
     total_node_weight: Weight,
     total_edge_weight: Weight,
     global_m: u64,
+    /// Cached hash of the degree sequence + distribution coordinates,
+    /// computed once at assembly (see [`DistGraph::degree_fingerprint`]).
+    degree_fingerprint: u64,
 }
 
 impl DistGraph {
@@ -249,6 +252,21 @@ impl DistGraph {
         let total_edge_weight = allreduce_sum(comm, local_arc_w) / 2;
         let global_m = allreduce_sum(comm, ids::count_global(adjncy.len())) / 2;
 
+        // Degree fingerprint, cached here so per-call consumers (the SCLP
+        // scratch guard) pay O(1) instead of re-hashing the offset array.
+        let degree_fingerprint = {
+            use std::hash::Hasher;
+            let mut h = rustc_hash::FxHasher::default();
+            h.write_u64(ids::count_global(n_local));
+            h.write_u64(ids::count_global(ghost_global.len()));
+            h.write_u64(dist.n_global);
+            h.write_u64(first);
+            for &x in &xadj {
+                h.write_u64(x);
+            }
+            h.finish()
+        };
+
         Self {
             rank,
             dist,
@@ -265,6 +283,7 @@ impl DistGraph {
             total_node_weight,
             total_edge_weight,
             global_m,
+            degree_fingerprint,
         }
     }
 
@@ -326,6 +345,17 @@ impl DistGraph {
     #[inline]
     pub fn is_ghost(&self, l: Node) -> bool {
         ids::node_index(l) >= self.n_local()
+    }
+
+    /// Cheap identity of exactly the inputs a degree-derived cache (the
+    /// SCLP scratch's visit order and chunk plan) consumes: the local CSR
+    /// offset array plus the distribution coordinates, hashed **once at
+    /// assembly**. A collision could only perturb a visit order, never
+    /// correctness. Distinct from [`DistGraph::fingerprint_local`], the
+    /// heavier checkpoint identity that also covers targets and weights.
+    #[inline]
+    pub fn degree_fingerprint(&self) -> u64 {
+        self.degree_fingerprint
     }
 
     /// Order-sensitive 64-bit fingerprint of this PE's local view (CSR over

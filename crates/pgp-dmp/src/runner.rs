@@ -30,6 +30,12 @@ pub struct RunConfig {
     /// traffic and phase spans are recorded into it; `None` keeps every
     /// recorder hook to a single branch. Must be sized for exactly `p` PEs.
     pub obs: Option<Arc<Obs>>,
+    /// Intra-PE worker threads available to compute phases (see
+    /// `pgp-lp`'s chunked SCLP). `0` and `1` both mean "no worker pool"
+    /// — every PE computes single-threaded, the classic behaviour. The
+    /// comm layer itself never uses these threads; the knob is published
+    /// through [`Comm::threads_per_pe`] for algorithms to consult.
+    pub threads_per_pe: usize,
 }
 
 /// Per-PE outcome of one thread: finished value, structured comm failure,
@@ -141,7 +147,7 @@ where
     F: Fn(&Comm) -> R + Sync,
 {
     run_universe(
-        Universe::with_config(p, cfg.deadline, cfg.fault_hook, cfg.obs),
+        Universe::with_config_threads(p, cfg.deadline, cfg.fault_hook, cfg.obs, cfg.threads_per_pe),
         f,
     )
 }
@@ -295,9 +301,8 @@ mod tests {
     #[test]
     fn watchdog_times_out_instead_of_hanging() {
         let cfg = RunConfig {
-            obs: None,
             deadline: Some(Duration::from_millis(50)),
-            fault_hook: None,
+            ..RunConfig::default()
         };
         // Two PEs park in a recv/recv cycle: a classic deadlock. The
         // watchdog must convert it into structured errors on every rank.
@@ -319,6 +324,32 @@ mod tests {
         assert!(results
             .iter()
             .any(|r| matches!(r, Err(CommError::Timeout { .. }))));
+    }
+
+    #[test]
+    fn threads_per_pe_is_published_and_normalized() {
+        // Default (0) and explicit 1 both mean "no worker pool".
+        for cfg_threads in [0usize, 1] {
+            let cfg = RunConfig {
+                threads_per_pe: cfg_threads,
+                ..RunConfig::default()
+            };
+            let seen = run_config(2, cfg, |comm| comm.threads_per_pe());
+            for t in seen {
+                assert_eq!(t.expect("fault-free"), 1);
+            }
+        }
+        let cfg = RunConfig {
+            threads_per_pe: 4,
+            ..RunConfig::default()
+        };
+        let seen = run_config(2, cfg, |comm| comm.threads_per_pe());
+        for t in seen {
+            assert_eq!(t.expect("fault-free"), 4);
+        }
+        // Plain `run` keeps the classic single-threaded contract.
+        let seen = run(2, |comm| comm.threads_per_pe());
+        assert_eq!(seen, vec![1, 1]);
     }
 
     #[test]

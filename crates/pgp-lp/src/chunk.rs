@@ -1,0 +1,185 @@
+//! Graph-derived chunking for the intra-PE SCLP worker pool (DESIGN.md §13).
+//!
+//! A PE's owned-node visit order is split into **fixed, graph-derived
+//! chunk boundaries**; chunks are claimed by a small pool of scoped worker
+//! threads and their proposed moves are merged back **in chunk-index
+//! order** on the PE thread. Two invariants make the scheme deterministic:
+//!
+//! 1. The chunk *count* and *boundaries* depend only on the graph (node
+//!    count, degree volume), never on the worker count — so the same
+//!    `(seed, p)` run produces identical chunk work-lists for every
+//!    `threads_per_pe ≥ 2`.
+//! 2. Workers read **round-start** shared state plus their own in-chunk
+//!    deltas; all mutation happens on the PE thread during the ordered
+//!    merge. Which worker ran a chunk (and when) can therefore never leak
+//!    into the result.
+//!
+//! The pool is built on `std::thread::scope` — no new dependencies, no
+//! long-lived threads, workers live exactly one superstep.
+
+use pgp_graph::Node;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Target degree-volume per chunk, in `degree + 1` units. Chosen so the
+/// per-chunk compute dwarfs the claim/merge overhead at bench scales
+/// while small coarse levels collapse to a single chunk.
+const TARGET_CHUNK_NODES: usize = 2048;
+
+/// Hard cap on chunks per PE: merge cost is linear in the chunk count and
+/// more chunks buy no extra balance once every worker owns several.
+const MAX_CHUNKS: usize = 32;
+
+/// Picks the number of chunks for `n_local` owned nodes. Deliberately
+/// **graph-derived only** — independent of `threads_per_pe` — so the
+/// chunked SCLP result is bit-identical for every worker count ≥ 2 (see
+/// the module docs). Always ≥ 1.
+pub fn chunk_count(n_local: usize) -> usize {
+    (n_local / TARGET_CHUNK_NODES).clamp(1, MAX_CHUNKS)
+}
+
+/// Splits `order` into `chunks` contiguous position ranges with roughly
+/// equal total `volume` (degree-proportional in cluster mode, so chunks
+/// of a power-law degree order cost about the same to process). Returns
+/// `chunks + 1` nondecreasing boundaries starting at 0 and ending at
+/// `order.len()`; every chunk is non-empty whenever `order.len() ≥ chunks`.
+pub fn balanced_bounds(order: &[Node], volume: impl Fn(Node) -> u64, chunks: usize) -> Vec<usize> {
+    let n = order.len();
+    let chunks = chunks.clamp(1, n.max(1));
+    let total: u64 = order.iter().map(|&v| volume(v)).sum::<u64>().max(1);
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0usize);
+    let mut acc = 0u64;
+    for (pos, &v) in order.iter().enumerate() {
+        acc += volume(v);
+        if bounds.len() < chunks {
+            let i = bounds.len(); // 1-based index of the chunk being filled
+            let left_after = n - (pos + 1);
+            let need = chunks - i; // later chunks each need ≥ 1 position
+            let crossed = acc.saturating_mul(chunks as u64) >= total.saturating_mul(i as u64);
+            if left_after == need || (left_after > need && crossed) {
+                bounds.push(pos + 1);
+            }
+        }
+    }
+    while bounds.len() < chunks {
+        bounds.push(n); // only reachable when order is empty
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Uniform positional boundaries over `0..n` (refine mode shuffles its
+/// visit order every round, so positions are already volume-random and an
+/// even split balances in expectation).
+pub fn uniform_bounds(n: usize, chunks: usize) -> Vec<usize> {
+    let chunks = chunks.clamp(1, n.max(1));
+    (0..=chunks).map(|i| i * n / chunks).collect()
+}
+
+/// Runs `work(chunk_index, lo, hi)` for every chunk of `bounds` on a pool
+/// of `threads` scoped workers and returns the outputs **in chunk-index
+/// order**. Chunks are claimed dynamically (atomic counter) so a slow
+/// chunk never idles the pool, but because each `work` call may only read
+/// shared round-start state, the claim order cannot affect any output —
+/// only the returned ordering matters, and that is fixed here.
+pub fn run_chunks<Out, F>(threads: usize, bounds: &[usize], work: F) -> Vec<Out>
+where
+    Out: Send,
+    F: Fn(usize, usize, usize) -> Out + Sync,
+{
+    let chunks = bounds.len().saturating_sub(1);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Out>> = Vec::with_capacity(chunks);
+    slots.resize_with(chunks, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.max(1).min(chunks.max(1)))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= chunks {
+                            break;
+                        }
+                        produced.push((i, work(i, bounds[i], bounds[i + 1])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("SCLP chunk worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count_is_graph_derived_and_bounded() {
+        assert_eq!(chunk_count(0), 1);
+        assert_eq!(chunk_count(100), 1);
+        assert_eq!(chunk_count(TARGET_CHUNK_NODES * 4), 4);
+        assert_eq!(chunk_count(usize::MAX / 2), MAX_CHUNKS);
+    }
+
+    #[test]
+    fn balanced_bounds_cover_and_balance() {
+        // Power-law-ish volumes: the heavy head must not land in one chunk.
+        let order: Vec<Node> = (0..1000).collect();
+        let volume = |v: Node| 1 + u64::from(v % 97) * u64::from(v % 97);
+        let chunks = 8;
+        let b = balanced_bounds(&order, volume, chunks);
+        assert_eq!(b.len(), chunks + 1);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), order.len());
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "empty chunk in {b:?}");
+        let total: u64 = order.iter().map(|&v| volume(v)).sum();
+        for w in b.windows(2) {
+            let vol: u64 = order[w[0]..w[1]].iter().map(|&v| volume(v)).sum();
+            // Each chunk within 3x of the even share (greedy splitting can
+            // overshoot by at most one node's volume).
+            assert!(vol <= 3 * total / chunks as u64, "chunk volume {vol}");
+        }
+    }
+
+    #[test]
+    fn balanced_bounds_degenerate_sizes() {
+        assert_eq!(balanced_bounds(&[], |_| 1, 4), vec![0, 0]);
+        assert_eq!(balanced_bounds(&[7], |_| 1, 4), vec![0, 1]);
+        let b = balanced_bounds(&[1, 2, 3], |_| 1, 3);
+        assert_eq!(b, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_bounds_cover() {
+        assert_eq!(uniform_bounds(10, 4), vec![0, 2, 5, 7, 10]);
+        assert_eq!(uniform_bounds(0, 4), vec![0, 0]);
+        assert_eq!(uniform_bounds(3, 8), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_chunks_returns_chunk_index_order_for_any_pool_size() {
+        let bounds: Vec<usize> = (0..=16).map(|i| i * 5).collect();
+        let expected: Vec<(usize, usize, usize)> =
+            (0..16).map(|i| (i, i * 5, (i + 1) * 5)).collect();
+        for threads in [1usize, 2, 3, 4, 8, 32] {
+            let outs = run_chunks(threads, &bounds, |i, lo, hi| (i, lo, hi));
+            assert_eq!(outs, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_chunks_single_chunk_and_empty_range() {
+        let outs = run_chunks(4, &[0, 0], |i, lo, hi| (i, lo, hi));
+        assert_eq!(outs, vec![(0, 0, 0)]);
+    }
+}

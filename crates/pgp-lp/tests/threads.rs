@@ -1,0 +1,136 @@
+//! Tier-1 determinism tests for the intra-PE worker pool (DESIGN.md §13).
+//!
+//! The contract under test: for a fixed `(seed, p)` the chunked SCLP path
+//! is a pure function of the graph — bit-identical across every
+//! `threads_per_pe ≥ 2` (the chunk boundaries are graph-derived, workers
+//! read only round-start state, and the merge goes in chunk-index order)
+//! and across repeated runs. `threads_per_pe = 1` is the classic
+//! sequential path and is *allowed* to differ from the chunked result,
+//! but must itself stay deterministic.
+//!
+//! Graphs are sized so each PE's local range splits into several chunks
+//! (`TARGET_CHUNK_NODES = 2048`): n = 12 000 at p = 2 gives 2 chunks per
+//! PE, so cross-chunk merging is genuinely exercised.
+
+use pgp_dmp::{run_config, DistGraph, RunConfig};
+use pgp_graph::{CsrGraph, Node};
+use pgp_lp::{parallel_sclp_cluster, parallel_sclp_refine, singleton_labels};
+
+/// Runs `f` on `p` PEs, each with `threads` pool workers.
+fn run_t<R, F>(p: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&pgp_dmp::Comm) -> R + Sync,
+{
+    let cfg = RunConfig {
+        threads_per_pe: threads,
+        ..RunConfig::default()
+    };
+    run_config(p, cfg, f)
+        .into_iter()
+        .map(|r| r.expect("fault-free run cannot fail"))
+        .collect()
+}
+
+/// Per-PE owned labels after a clustering run.
+fn cluster_labels(g: &CsrGraph, p: usize, threads: usize, seed: u64) -> Vec<Vec<Node>> {
+    run_t(p, threads, |comm| {
+        let dg = DistGraph::from_global(comm, g);
+        let mut labels = singleton_labels(&dg);
+        let u = (dg.total_node_weight() / 20).max(2);
+        parallel_sclp_cluster(comm, &dg, u, 5, seed, &mut labels, None);
+        labels[..dg.n_local()].to_vec()
+    })
+}
+
+/// Per-PE owned blocks after a refinement run from a `global % k` start.
+fn refine_blocks(g: &CsrGraph, p: usize, threads: usize, seed: u64, k: usize) -> Vec<Vec<Node>> {
+    let lmax = pgp_graph::lmax(g.total_node_weight(), k, 0.03);
+    run_t(p, threads, |comm| {
+        let dg = DistGraph::from_global(comm, g);
+        let mut blocks: Vec<Node> = (0..(dg.n_local() + dg.n_ghost()) as Node)
+            .map(|l| dg.local_to_global(l) % k as Node)
+            .collect();
+        parallel_sclp_refine(comm, &dg, k, lmax, 6, seed, &mut blocks);
+        blocks[..dg.n_local()].to_vec()
+    })
+}
+
+fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
+    let (sbm, _) = pgp_gen::sbm::sbm(12_000, pgp_gen::sbm::SbmParams::default(), 11);
+    vec![
+        ("ba", pgp_gen::ba::barabasi_albert(12_000, 3, 7)),
+        ("sbm", sbm),
+    ]
+}
+
+#[test]
+fn cluster_is_identical_across_worker_counts() {
+    for (name, g) in test_graphs() {
+        let base = cluster_labels(&g, 2, 2, 5);
+        for t in [4, 8] {
+            assert_eq!(base, cluster_labels(&g, 2, t, 5), "{name}: T=2 vs T={t}");
+        }
+        // Run-to-run determinism of the chunked path itself.
+        assert_eq!(base, cluster_labels(&g, 2, 2, 5), "{name}: rerun");
+    }
+}
+
+#[test]
+fn refine_is_identical_across_worker_counts() {
+    for (name, g) in test_graphs() {
+        let k = 4;
+        let base = refine_blocks(&g, 2, 2, 9, k);
+        for t in [4, 8] {
+            assert_eq!(base, refine_blocks(&g, 2, t, 9, k), "{name}: T=2 vs T={t}");
+        }
+        assert_eq!(base, refine_blocks(&g, 2, 2, 9, k), "{name}: rerun");
+    }
+}
+
+#[test]
+fn single_thread_path_stays_deterministic() {
+    for (name, g) in test_graphs() {
+        assert_eq!(
+            cluster_labels(&g, 2, 1, 5),
+            cluster_labels(&g, 2, 1, 5),
+            "{name}: T=1 rerun"
+        );
+    }
+}
+
+#[test]
+fn chunked_refine_respects_lmax_exactly() {
+    // The merge-time budget recheck must keep the hard balance bound even
+    // when several chunks propose moves into the same block.
+    let g = pgp_gen::ba::barabasi_albert(12_000, 3, 3);
+    let k = 4;
+    let lmax = pgp_graph::lmax(g.total_node_weight(), k, 0.03);
+    let parts = refine_blocks(&g, 2, 4, 13, k);
+    let mut weights = vec![0u64; k];
+    let mut global = vec![0 as Node; g.n()];
+    let mut next = 0usize;
+    for part in &parts {
+        for &b in part {
+            global[next] = b;
+            next += 1;
+        }
+    }
+    assert_eq!(next, g.n());
+    for (v, &b) in global.iter().enumerate() {
+        weights[b as usize] += g.node_weight(v as Node);
+    }
+    let max = weights.iter().copied().max().expect("k >= 1");
+    assert!(max <= lmax, "max block weight {max} vs Lmax {lmax}");
+}
+
+#[test]
+fn chunked_merge_survives_contention_stress() {
+    // Many workers on few chunks, repeated: any schedule-dependence in
+    // chunk claiming or merge order would show up as run-to-run drift.
+    let g = pgp_gen::ba::barabasi_albert(12_000, 3, 17);
+    let base = cluster_labels(&g, 2, 8, 23);
+    for round in 0..4 {
+        assert_eq!(base, cluster_labels(&g, 2, 8, 23), "stress round {round}");
+    }
+}

@@ -4,9 +4,14 @@
 //! ```text
 //! pgp-partition <graph.metis> k=8 [preset=fast|eco|minimal] [p=4]
 //!               [eps=0.03] [seed=0] [class=auto|social|mesh]
-//!               [output=<graph>.part.<k>] [report=<file.json>]
-//!               [trace=<file.json>]
+//!               [threads-per-pe=1] [output=<graph>.part.<k>]
+//!               [report=<file.json>] [trace=<file.json>]
 //! ```
+//!
+//! `threads-per-pe=<n>` (or `--threads-per-pe <n>`) gives every PE `n`
+//! worker threads for the hybrid SCLP (DESIGN.md §13). `1` is the classic
+//! single-threaded path; any `n ≥ 2` is deterministic in `(seed, p)` and
+//! produces identical output for every `n ≥ 2`.
 //!
 //! `report=<file.json>` (or `--report <file.json>`) runs with the
 //! observability recorder enabled and writes the schema-versioned JSON
@@ -35,21 +40,22 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Normalize the conventional `--flag <path>` spellings into the
     // `key=value` form before positional-argument detection.
-    for flag in ["report", "trace"] {
+    for flag in ["report", "trace", "threads-per-pe"] {
         if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
             if i + 1 >= args.len() {
-                eprintln!("error: --{flag} requires a path argument");
+                eprintln!("error: --{flag} requires a value argument");
                 return ExitCode::from(2);
             }
-            let flag_path = args.remove(i + 1);
-            args[i] = format!("{flag}={flag_path}");
+            let flag_value = args.remove(i + 1);
+            args[i] = format!("{flag}={flag_value}");
         }
     }
     let Some(path) = args.iter().find(|a| !a.contains('=')) else {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
-             [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] [output=<file>] \
-             [report=<file.json>] [trace=<file.json>]"
+             [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] \
+             [threads-per-pe=<n>] [output=<file>] [report=<file.json>] \
+             [trace=<file.json>]"
         );
         return ExitCode::from(2);
     };
@@ -105,8 +111,13 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.03);
 
+    let threads_per_pe: usize = arg(&args, "threads-per-pe")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;
+    cfg.threads_per_pe = threads_per_pe;
     let report_path = arg(&args, "report");
     let trace_path = arg(&args, "trace");
     let t0 = std::time::Instant::now();
