@@ -9,7 +9,8 @@
 //! cargo run -p bench --release --bin partition -- \
 //!     [graph=amazon] [tier=small] [k=4] [p=4] [seed=1] [preset=fast] \
 //!     [threads_per_pe=1] [report=results/run_report.json] \
-//!     [trace=results/trace.json]
+//!     [trace=results/trace.json] [recover=1] [max_retries=3] \
+//!     [checkpoint_every=1]
 //! ```
 //!
 //! `--report <path>` / `--trace <path>` are accepted as aliases for the
@@ -17,6 +18,11 @@
 //! the trace schema in DESIGN.md §11; per-level tables can be regenerated
 //! from the JSON (see EXPERIMENTS.md). Open a trace at
 //! <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! `recover=1` (or `--recover`) runs under the automatic-recovery
+//! supervisor (DESIGN.md §14) with V-cycle checkpoints every
+//! `checkpoint_every` cycles and up to `max_retries` transient retries;
+//! the report's `recovery` block carries the supervisor counters.
 
 use bench::harness::parse_tier;
 use bench::{
@@ -37,6 +43,9 @@ fn main() {
             args[i] = format!("{flag}={path}");
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--recover") {
+        args[i] = "recover=1".to_string();
+    }
     let name = arg(&args, "graph").unwrap_or_else(|| "amazon".to_string());
     let tier = parse_tier(arg(&args, "tier"));
     let k = arg_usize(&args, "k", 4);
@@ -55,8 +64,12 @@ fn main() {
         benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
     };
     let threads_per_pe = arg_usize(&args, "threads_per_pe", 1);
+    let recover = arg(&args, "recover").is_some_and(|v| v != "0");
+    let max_retries = arg_usize(&args, "max_retries", 3) as u32;
+    let checkpoint_every = arg_usize(&args, "checkpoint_every", 1);
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.threads_per_pe = threads_per_pe;
+    cfg.checkpoint = parhip::CheckpointPolicy::every(checkpoint_every);
     let graph = &inst.graph;
     println!(
         "partition: {} (n = {}, m = {}), k = {k}, p = {p}, preset = {preset:?}, seed = {seed}, \
@@ -67,7 +80,39 @@ fn main() {
     );
 
     let trace_path = arg(&args, "trace");
-    let (partition, stats, report, trace) = if trace_path.is_some() {
+    let (partition, stats, report, trace) = if recover {
+        let obs = if trace_path.is_some() {
+            pgp_obs::Obs::with_trace(p, pgp_obs::DEFAULT_TRACE_CAPACITY)
+        } else {
+            pgp_obs::Obs::new(p)
+        };
+        let run = pgp_dmp::RunConfig {
+            obs: Some(obs.clone()),
+            ..Default::default()
+        };
+        let limits = parhip::RecoveryLimits {
+            max_retries,
+            ..parhip::RecoveryLimits::default()
+        };
+        let (partition, stats, recovery) =
+            match parhip::partition_parallel_supervised(graph, p, &cfg, run, limits) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("recovery budget exhausted: {e:?}");
+                    std::process::exit(1);
+                }
+            };
+        println!(
+            "recovery: {} attempt(s), {} transient retries, {} full recoveries, \
+             dead ranks {:?}, {} lost V-cycle(s)",
+            recovery.attempts,
+            recovery.retries,
+            recovery.recoveries,
+            recovery.dead_ranks,
+            recovery.lost_cycles
+        );
+        (partition, stats, obs.report(), obs.trace())
+    } else if trace_path.is_some() {
         let (partition, stats, report, trace) =
             parhip::partition_parallel_traced(graph, p, &cfg, None);
         (partition, stats, report, Some(trace))

@@ -41,11 +41,12 @@ pub mod partitioner;
 pub mod validate;
 
 pub use coarsen::{parallel_coarsen, ParHierarchy, ParLevel};
-pub use config::{GraphClass, ParhipConfig, Preset};
+pub use config::{CheckpointPolicy, GraphClass, ParhipConfig, Preset};
 pub use contract::{parallel_contract, parallel_project_blocks, ParContraction};
 pub use partitioner::{
     parhip_distributed, parhip_distributed_checkpointed, parhip_distributed_resume,
-    parhip_distributed_with_input, partition_parallel, partition_parallel_observed,
-    partition_parallel_resume, partition_parallel_traced, partition_parallel_with_input,
-    partition_parallel_with_store, CheckpointStore, LevelSummary, ParhipStats, VCycleCheckpoint,
+    parhip_distributed_supervised, parhip_distributed_with_input, partition_parallel,
+    partition_parallel_observed, partition_parallel_resume, partition_parallel_supervised,
+    partition_parallel_traced, partition_parallel_with_input, partition_parallel_with_store,
+    CheckpointStore, LevelSummary, ParhipStats, RecoveryLimits, VCycleCheckpoint,
 };

@@ -106,12 +106,30 @@ pub struct VCycleCheckpoint {
 #[derive(Default)]
 pub struct CheckpointStore {
     latest: std::sync::Mutex<Option<VCycleCheckpoint>>,
+    /// Total V-cycle *starts* recorded against this store (rank 0 marks
+    /// one per cycle entry, across all attempts). A fault-free run starts
+    /// exactly `vcycles` cycles, so anything beyond that is work a fault
+    /// destroyed — the supervised wrappers report the difference as
+    /// `lost_cycles`.
+    cycles_started: std::sync::atomic::AtomicU64,
 }
 
 impl CheckpointStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records one V-cycle start (called by rank 0 at each cycle entry).
+    pub fn note_cycle_started(&self) {
+        self.cycles_started
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // lint:relaxed-ok: monotonic diagnostic counter
+    }
+
+    /// Total V-cycle starts recorded so far (see the field docs).
+    pub fn cycles_started(&self) -> u64 {
+        self.cycles_started
+            .load(std::sync::atomic::Ordering::Relaxed) // lint:relaxed-ok: monotonic diagnostic counter
     }
 
     /// Replaces the stored checkpoint (later cycles win).
@@ -263,6 +281,45 @@ pub fn parhip_distributed_resume(
     parhip_cycles(comm, graph, cfg, Some(&blocks), checkpoint.cycle + 1, store)
 }
 
+/// The per-attempt body for supervised runs (see
+/// [`partition_parallel_supervised`]): on the first attempt — or whenever
+/// the store holds no usable snapshot — runs checkpointed from scratch; on
+/// recovery attempts with a matching snapshot, resumes from it. The
+/// resume-vs-scratch decision is SPMD-uniform: `attempt` comes from the
+/// supervisor (identical on every PE) and the store is only written at
+/// collective V-cycle boundaries, so all PEs observe the same latest
+/// snapshot between attempts.
+pub fn parhip_distributed_supervised(
+    comm: &Comm,
+    graph: &DistGraph,
+    cfg: &ParhipConfig,
+    attempt: &pgp_dmp::AttemptInfo,
+    store: &CheckpointStore,
+) -> (Vec<Node>, ParhipStats) {
+    if attempt.attempt > 0 {
+        #[cfg(feature = "validate")]
+        crate::validate::assert_recovery_agreed(
+            comm,
+            &attempt.dead_ranks,
+            store.latest_cycle(),
+            "supervised attempt entry",
+        );
+        let rec = comm.recorder();
+        rec.enter("restore");
+        // Fingerprint checks are collective (group_graph_fingerprint is an
+        // allreduce) and must run unconditionally on this branch.
+        let group_fp = group_graph_fingerprint(comm, graph);
+        let usable = store.latest().filter(|cp| {
+            cp.graph_fingerprint == group_fp && cp.config_fingerprint == cfg.fingerprint()
+        });
+        rec.exit("restore");
+        if let Some(cp) = usable {
+            return parhip_distributed_resume(comm, graph, cfg, &cp, Some(store));
+        }
+    }
+    parhip_distributed_checkpointed(comm, graph, cfg, None, store)
+}
+
 /// The shared V-cycle engine: runs cycles `start_cycle..cfg.vcycles` from
 /// an optional carried-in assignment, optionally checkpointing each cycle
 /// boundary into `store`. All public entry points funnel here.
@@ -296,9 +353,17 @@ fn parhip_cycles(
     // cycle, so its degree order is computed once and reused.
     let mut scratch = SclpScratch::new();
 
+    let last_cycle = cfg.vcycles.max(1) - 1;
     for cycle in start_cycle..cfg.vcycles.max(1) {
         let rec = comm.recorder();
         rec.enter("vcycle");
+        // Cycle-start accounting for the recovery layer: one mark per
+        // entered cycle (rank 0 only — the counter is global, not per-PE).
+        if let Some(store) = store {
+            if comm.rank() == 0 {
+                store.note_cycle_started();
+            }
+        }
         // ---- Parallel coarsening -------------------------------------
         rec.enter("coarsen");
         let hierarchy = parallel_coarsen_with_scratch(
@@ -421,7 +486,10 @@ fn parhip_cycles(
         blocks = Some(full);
 
         // ---- V-cycle boundary checkpoint -------------------------------
-        if let Some(store) = store {
+        // The cadence gate is SPMD-uniform (pure function of cycle index
+        // and config), so skipping a boundary cannot desynchronize the
+        // group. The last cycle is always taken.
+        if let Some(store) = store.filter(|_| cfg.checkpoint.take_at(cycle, last_cycle)) {
             let assignment = allgatherv(comm, level_blocks.clone());
             let fine_to_coarsest = allgatherv(comm, compose_to_coarsest(comm, &hierarchy));
             let checkpoint = VCycleCheckpoint {
@@ -725,6 +793,90 @@ pub fn partition_parallel_resume(
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats)
+}
+
+/// Retry/recovery budgets for [`partition_parallel_supervised`] (the
+/// backoff seed comes from `cfg.seed`, keeping the whole schedule
+/// deterministic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryLimits {
+    /// Transient retries (uncorroborated timeouts) per recovery window
+    /// before a timeout escalates to full recovery.
+    pub max_retries: u32,
+    /// Full recoveries (respawn + resume after confirmed deaths) before
+    /// the supervisor gives up and surfaces the fault.
+    pub max_recoveries: u32,
+    /// Base of the seeded exponential backoff between transient retries,
+    /// in milliseconds.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RecoveryLimits {
+    fn default() -> Self {
+        let d = pgp_dmp::SupervisorConfig::default();
+        Self {
+            max_retries: d.max_retries,
+            max_recoveries: d.max_recoveries,
+            backoff_base_ms: d.backoff_base_ms,
+        }
+    }
+}
+
+/// As [`partition_parallel`], but run under the automatic-recovery
+/// supervisor (DESIGN.md §14): every V-cycle boundary is checkpointed at
+/// the cadence in `cfg.checkpoint`, and when a PE dies mid-run the
+/// survivors' failure consensus picks the dead ranks, the supervisor
+/// respawns a fresh universe, and the run resumes from the latest
+/// validated snapshot — bit-identical to the fault-free partition.
+/// Uncorroborated timeouts are retried with seeded exponential backoff
+/// before escalating to full recovery.
+///
+/// Fault injection and observation ride in through `run` (`pgp-chaos`
+/// builds a `RunConfig` from a `FaultPlan`; attach an `Obs` to get the
+/// recovery counters in the `RunReport`). A zero `threads_per_pe` in `run`
+/// is filled from `cfg.threads_per_pe`.
+///
+/// Returns the partition, stats, and the supervisor's
+/// [`pgp_obs::RecoveryReport`] (attempts, retries, recoveries, dead ranks,
+/// lost V-cycles). Errors only when the recovery budget is exhausted.
+pub fn partition_parallel_supervised(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    run: pgp_dmp::RunConfig,
+    limits: RecoveryLimits,
+) -> Result<(Partition, ParhipStats, pgp_obs::RecoveryReport), pgp_dmp::CommError> {
+    let mut run = run;
+    if run.threads_per_pe == 0 {
+        run.threads_per_pe = cfg.threads_per_pe;
+    }
+    let obs = run.obs.clone();
+    let store = CheckpointStore::new();
+    let sup = pgp_dmp::SupervisorConfig {
+        base: run,
+        max_retries: limits.max_retries,
+        max_recoveries: limits.max_recoveries,
+        backoff_base_ms: limits.backoff_base_ms,
+        seed: cfg.seed,
+    };
+    let (values, mut recovery) = pgp_dmp::run_config_supervised(p, sup, |comm, info| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed_supervised(comm, &dg, cfg, info, &store);
+        let all = allgatherv(comm, local);
+        (all, stats)
+    })?;
+    let (assignment, mut stats) = values.into_iter().next().expect("at least one PE");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    // Work destroyed by faults: cycle starts beyond the fault-free count.
+    recovery.lost_cycles = store
+        .cycles_started()
+        .saturating_sub(cfg.vcycles.max(1) as u64); // lint:cast-ok: small cycle count
+    if let Some(obs) = &obs {
+        let lost = recovery.lost_cycles;
+        obs.record_recovery(|r| r.lost_cycles = lost);
+    }
+    Ok((partition, stats, recovery))
 }
 
 #[cfg(test)]

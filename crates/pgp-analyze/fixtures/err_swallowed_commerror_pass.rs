@@ -1,0 +1,36 @@
+// Pass fixture for err-swallowed-commerror: faults propagated with `?`,
+// matched explicitly, bound to a named local, or unrelated unwraps on
+// non-CommError results.
+
+pub fn try_barrier(comm: &Comm, deadline: Duration) -> Result<(), CommError> {
+    comm.wait(deadline)
+}
+
+fn plain_parse(s: &str) -> Result<u64, ParseIntError> {
+    s.parse()
+}
+
+fn propagates(comm: &Comm) -> Result<(), CommError> {
+    try_barrier(comm, D)?;
+    Ok(())
+}
+
+fn matches_explicitly(comm: &Comm) -> usize {
+    match try_barrier(comm, D) {
+        Ok(()) => 0,
+        Err(e) => handle(e),
+    }
+}
+
+fn named_binding_is_fine(comm: &Comm) {
+    let verdict = try_barrier(comm, D);
+    route(verdict);
+}
+
+fn unrelated_unwrap_is_fine(s: &str) -> u64 {
+    plain_parse(s).unwrap()
+}
+
+fn discarding_infallible_is_fine(comm: &Comm) {
+    let _ = comm.rank();
+}

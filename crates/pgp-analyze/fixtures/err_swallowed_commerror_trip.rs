@@ -1,0 +1,31 @@
+// Trip fixture for err-swallowed-commerror: unwrap, expect, and let-_
+// swallowing of Result<_, CommError> values, including a cross-fn case
+// where the fallible fn is declared in the same sweep.
+
+pub fn try_barrier(comm: &Comm, deadline: Duration) -> Result<(), CommError> {
+    comm.wait(deadline)
+}
+
+pub fn try_sum(comm: &Comm, v: u64) -> Result<u64, CommError> {
+    Ok(v)
+}
+
+fn swallow_by_unwrap(comm: &Comm) {
+    try_barrier(comm, D).unwrap();
+}
+
+fn swallow_by_expect(comm: &Comm) -> u64 {
+    try_sum(comm, 1).expect("healthy group")
+}
+
+fn swallow_by_discard(comm: &Comm) {
+    let _ = try_barrier(comm, D);
+}
+
+fn swallow_with_turbofish(comm: &Comm) {
+    helper::<u64>(comm).unwrap();
+}
+
+fn helper<T>(comm: &Comm) -> Result<T, CommError> {
+    todo(comm)
+}

@@ -1,0 +1,221 @@
+//! Rule family (d): error handling.
+//!
+//! `err-swallowed-commerror` — a call to a function returning
+//! `Result<_, CommError>` (or a collection thereof) whose structured fault
+//! is swallowed at the call site: `.unwrap()` / `.expect(..)` chained
+//! directly on the call, or the whole result discarded with `let _ =`.
+//!
+//! `CommError` is the substrate's *structured* fault channel: `PeerDead` /
+//! `Timeout` values carry the failure-consensus coordinates (who died,
+//! who observed it) that the recovery supervisor needs. Unwrapping turns
+//! a recoverable fault into an opaque panic from an arbitrary PE thread;
+//! discarding it loses the fault entirely and the run silently diverges.
+//! The only legitimate terminal collection point is the runner
+//! (`crates/pgp-dmp/src/runner.rs`), where per-PE results are folded into
+//! the supervisor's verdict — that file is exempt. Test code may unwrap
+//! freely (test-gated items and `tests/` dirs are already excluded).
+//!
+//! The fn set is collected *workspace-wide* in a first pass (return-type
+//! token window between the parameter list and the body mentions
+//! `CommError`), so a call in one crate to a fallible fn declared in
+//! another is still seen.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::skip_group;
+use crate::report::{Finding, RULE_ERR_SWALLOWED};
+use crate::FileUnit;
+use std::collections::BTreeSet;
+
+/// The terminal collection point: the runner folds per-PE
+/// `Result<_, CommError>` values into the supervisor's failure verdict,
+/// which is exactly the non-swallowing treatment the rule demands.
+const EXEMPT_FILES: &[&str] = &["crates/pgp-dmp/src/runner.rs"];
+
+/// Runs the error-handling rules.
+pub fn check(units: &[FileUnit]) -> Vec<Finding> {
+    let fallible = collect_commerror_fns(units);
+    let mut findings = Vec::new();
+    for unit in units {
+        if EXEMPT_FILES.contains(&unit.rel.as_str()) {
+            continue;
+        }
+        for f in &unit.items.fns {
+            check_body(unit, f.body, &fallible, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Pass 1: names of all fns whose declared return type mentions
+/// `CommError`, across every scanned file.
+fn collect_commerror_fns(units: &[FileUnit]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn") {
+                if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    if let Some(window) = return_type_window(toks, i + 2) {
+                        if window_names_commerror(&toks[window.0..window.1]) {
+                            out.insert(name.text.clone());
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The token window of the return type (and where clause) of a fn whose
+/// name token ends at `after_name`: from past the parameter list to the
+/// body `{` or terminating `;`. `None` for malformed heads.
+fn return_type_window(toks: &[Tok], after_name: usize) -> Option<(usize, usize)> {
+    let mut i = after_name;
+    // Optional generic parameter list.
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = crate::parse::skip_angle_group(toks, i);
+    }
+    // Parameter list.
+    if !toks.get(i).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let start = skip_group(toks, i, '(', ')');
+    // To the body or the semicolon (trait declarations / extern fns).
+    let mut j = start;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if (t.is_punct('{') || t.is_punct(';')) && paren <= 0 {
+            return Some((start, j));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when a return-type window names `Result` carrying `CommError`.
+fn window_names_commerror(window: &[Tok]) -> bool {
+    window.iter().any(|t| t.is_ident("CommError")) && window.iter().any(|t| t.is_ident("Result"))
+}
+
+/// Pass 2: swallowing call sites inside one fn body.
+fn check_body(
+    unit: &FileUnit,
+    body: (usize, usize),
+    fallible: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &unit.lexed.toks;
+    let (start, end) = body;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        // `let _ = <stmt containing a fallible call>;`
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            && !toks.get(i + 3).is_some_and(|t| t.is_punct('='))
+        {
+            let stmt_end = stmt_extent(toks, i + 3, end);
+            if let Some(name) = first_fallible_call(&toks[i + 3..stmt_end], fallible) {
+                findings.push(Finding {
+                    rule: RULE_ERR_SWALLOWED,
+                    file: unit.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`let _ =` discards the Result<_, CommError> of `{name}`: the \
+                         structured fault (PeerDead/Timeout coordinates) is lost; \
+                         propagate it with `?` or fold it into the runner's verdict"
+                    ),
+                });
+            }
+            i = stmt_end;
+            continue;
+        }
+        // `name(..).unwrap()` / `name::<T>(..).expect(..)` on a fallible fn.
+        if t.kind == TokKind::Ident && fallible.contains(&t.text) {
+            let mut j = i + 1;
+            // Turbofish between name and call parens.
+            if toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|t| t.is_punct('<'))
+            {
+                j = crate::parse::skip_angle_group(toks, j + 2);
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                let after_call = skip_group(toks, j, '(', ')');
+                if toks.get(after_call).is_some_and(|t| t.is_punct('.')) {
+                    if let Some(m) = toks
+                        .get(after_call + 1)
+                        .filter(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                    {
+                        findings.push(Finding {
+                            rule: RULE_ERR_SWALLOWED,
+                            file: unit.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`.{}()` on the Result<_, CommError> of `{}` turns a \
+                                 recoverable fault into a panic; propagate it with `?` \
+                                 or fold it into the runner's verdict",
+                                m.text, t.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The first fallible fn called (`name(` or `name::<..>(`) in a token
+/// window, if any.
+fn first_fallible_call(window: &[Tok], fallible: &BTreeSet<String>) -> Option<String> {
+    let mut i = 0;
+    while i < window.len() {
+        let t = &window[i];
+        if t.kind == TokKind::Ident && fallible.contains(&t.text) {
+            let mut j = i + 1;
+            if window.get(j).is_some_and(|t| t.is_punct(':'))
+                && window.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && window.get(j + 2).is_some_and(|t| t.is_punct('<'))
+            {
+                j = crate::parse::skip_angle_group(window, j + 2);
+            }
+            if window.get(j).is_some_and(|t| t.is_punct('(')) {
+                return Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Statement extent: index of the terminating `;` at delimiter depth 0
+/// (or the end of the surrounding block).
+fn stmt_extent(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                return i;
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}

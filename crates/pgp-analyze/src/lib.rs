@@ -13,6 +13,9 @@
 //!   entry points.
 //! - [`determinism`] — iteration over std hash containers (and float
 //!   reductions fed by them) in determinism-critical crates.
+//! - [`errs`] — swallowed structured faults: `Result<_, CommError>`
+//!   unwrapped or discarded outside the runner's terminal collection
+//!   point, losing the coordinates the recovery supervisor consumes.
 //!
 //! Findings are suppressible with `// analyze:allow(rule-id)` on the same
 //! line or the line above; stale markers are themselves findings
@@ -22,6 +25,7 @@
 
 pub mod consts;
 pub mod determinism;
+pub mod errs;
 pub mod lexer;
 pub mod parse;
 pub mod protocol;
@@ -96,6 +100,7 @@ pub fn analyze_files(files: &[SourceFile]) -> Analysis {
     raw.extend(protocol::check(&units, &consts));
     raw.extend(spmd::check(&units));
     raw.extend(determinism::check(&units));
+    raw.extend(errs::check(&units));
 
     let allows: Vec<(String, Vec<lexer::Allow>)> = units
         .iter()

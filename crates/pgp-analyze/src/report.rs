@@ -18,6 +18,9 @@ pub const RULE_FLOAT_REDUCE: &str = "det-unordered-float-reduce";
 /// Rule: a worker-pool function in `pgp-lp` iterates a hash container —
 /// the cross-thread merge must go by chunk index, not map order.
 pub const RULE_CHUNK_MERGE: &str = "det-unordered-chunk-merge";
+/// Rule: a `Result<_, CommError>` unwrapped/expected/discarded outside the
+/// runner's terminal collection point.
+pub const RULE_ERR_SWALLOWED: &str = "err-swallowed-commerror";
 /// Rule: an `analyze:allow` marker that suppressed nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 
@@ -51,6 +54,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_CHUNK_MERGE,
         "a worker-pool function in pgp-lp iterates a hash container (Fx or std): per-worker insertion order depends on chunk claiming, so cross-thread merges must go by chunk index",
+    ),
+    (
+        RULE_ERR_SWALLOWED,
+        "a Result<_, CommError> is unwrapped, expected, or discarded with `let _ =` outside the runner's terminal collection point (the structured fault the recovery supervisor needs is swallowed)",
     ),
     (
         RULE_UNUSED_ALLOW,

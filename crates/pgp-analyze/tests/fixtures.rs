@@ -187,6 +187,43 @@ fn chunk_merge_passes_on_chunk_order_merge_and_nonpool_fns() {
 }
 
 #[test]
+fn err_swallowed_commerror_trips_all_forms() {
+    let a = analyze_one(PROTO_REL, "err_swallowed_commerror_trip.rs");
+    assert_eq!(rules(&a), vec!["err-swallowed-commerror"]);
+    assert_eq!(
+        a.findings.len(),
+        4,
+        "unwrap, expect, let _, turbofish: {:?}",
+        a.findings
+    );
+    let msgs: String = a
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(msgs.contains(".unwrap()"), "{msgs}");
+    assert!(msgs.contains(".expect()"), "{msgs}");
+    assert!(msgs.contains("`let _ =` discards"), "{msgs}");
+    assert!(msgs.contains("`helper`"), "turbofish call: {msgs}");
+}
+
+#[test]
+fn err_swallowed_commerror_exempts_runner_terminal_point() {
+    let a = analyze_one(
+        "crates/pgp-dmp/src/runner.rs",
+        "err_swallowed_commerror_trip.rs",
+    );
+    assert_eq!(a.findings, Vec::new());
+}
+
+#[test]
+fn err_swallowed_commerror_passes_on_handled_faults() {
+    let a = analyze_one(PROTO_REL, "err_swallowed_commerror_pass.rs");
+    assert_eq!(a.findings, Vec::new());
+}
+
+#[test]
 fn unused_allow_trips_for_stale_and_unknown_markers() {
     let a = analyze_one(DET_REL, "unused_allow_trip.rs");
     assert_eq!(rules(&a), vec!["unused-allow"]);

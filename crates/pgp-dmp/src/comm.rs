@@ -363,6 +363,12 @@ pub struct Universe {
     poisoned: AtomicBool,
     /// First fatal failure observed anywhere in the group (first wins).
     poison: Mutex<Option<CommError>>,
+    /// Every *distinct* fatal failure observed in the group, in arrival
+    /// order. The `poison` slot above keeps only the first error (it
+    /// drives the unwind); this ledger is what failure consensus reads
+    /// after the join, so a multi-kill run records every dead rank
+    /// instead of racing on first-poison-wins.
+    faults: Mutex<Vec<CommError>>,
     /// Watchdog deadline for blocking receives. `None` = park forever (the
     /// classic substrate; poison notifications still wake parked PEs).
     deadline: Option<Duration>,
@@ -439,6 +445,7 @@ impl Universe {
             elements_sent: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             poison: Mutex::new(None),
+            faults: Mutex::new(Vec::new()),
             deadline,
             hook,
             obs,
@@ -482,9 +489,18 @@ impl Universe {
     /// and wakes every parked PE so the failure propagates promptly.
     ///
     /// Safe to call from any thread, any number of times; later calls keep
-    /// the original error. Message payload visibility is unaffected — this
-    /// only gates the blocking paths.
+    /// the original error in the `poison` slot but still accumulate into
+    /// the fault ledger (see [`Universe::fault_ledger`]), so a run with
+    /// several concurrent failures records all of them for consensus.
+    /// Message payload visibility is unaffected — this only gates the
+    /// blocking paths.
     pub fn poison(&self, err: CommError) {
+        {
+            let mut ledger = self.faults.lock();
+            if !ledger.contains(&err) {
+                ledger.push(err.clone());
+            }
+        }
         {
             let mut slot = self.poison.lock();
             if slot.is_none() {
@@ -497,6 +513,15 @@ impl Universe {
         for mb in &self.mailboxes {
             mb.signal.notify_all();
         }
+    }
+
+    /// Every distinct error ever passed to [`Universe::poison`], in
+    /// arrival order. Unlike [`Universe::poison_error`] (first fault
+    /// only), this sees *all* failures of a multi-fault run — the input
+    /// to the supervisor's failure consensus. Call after the PE threads
+    /// have joined for a complete picture.
+    pub fn fault_ledger(&self) -> Vec<CommError> {
+        self.faults.lock().clone()
     }
 
     /// The recorded poison error, if the universe is poisoned. The fast
@@ -1192,6 +1217,22 @@ mod chaos_tests {
         fn kill_at_phase(&self, rank: usize) -> Option<u64> {
             (rank == self.rank).then_some(self.phase)
         }
+    }
+
+    #[test]
+    fn poison_ledger_accumulates_distinct_faults() {
+        let u = Universe::new(2);
+        let e1 = CommError::PeerDead { rank: 0, dead: 0 };
+        let e2 = CommError::PeerDead { rank: 1, dead: 1 };
+        u.poison(e1.clone());
+        u.poison(e2.clone());
+        u.poison(e1.clone()); // duplicate: recorded once
+        assert_eq!(u.poison_error(), Some(e1.clone()), "first poison wins");
+        assert_eq!(
+            u.fault_ledger(),
+            vec![e1, e2],
+            "ledger must see every distinct fault, not just the first"
+        );
     }
 
     #[test]

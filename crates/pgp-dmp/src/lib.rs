@@ -30,5 +30,8 @@ pub use dgraph::DistGraph;
 pub use exchange::LabelExchange;
 // Re-exported so `RunConfig { obs, .. }` can be built without a direct
 // pgp-obs dependency.
-pub use pgp_obs::{Obs, Recorder, RunTrace};
-pub use runner::{mix_seed, run, run_config, run_seeded, run_timed, thread_cpu_seconds, RunConfig};
+pub use pgp_obs::{Obs, Recorder, RecoveryReport, RunTrace};
+pub use runner::{
+    mix_seed, run, run_config, run_config_supervised, run_seeded, run_timed, thread_cpu_seconds,
+    AttemptInfo, FailureVerdict, RunConfig, SupervisorConfig,
+};

@@ -8,8 +8,8 @@
 //! peers — unwind with a crate-internal sentinel that [`run_config`]
 //! surfaces as `Err(CommError)` per PE instead of a crash.
 
-use crate::comm::{Comm, CommAbort, CommError, FaultHook, Universe};
-use pgp_obs::Obs;
+use crate::comm::{Comm, CommAbort, CommError, FaultHook, Tag, Universe};
+use pgp_obs::{Obs, RecoveryReport};
 use std::any::Any;
 use std::sync::Arc;
 use std::time::Duration;
@@ -150,6 +150,263 @@ where
         Universe::with_config_threads(p, cfg.deadline, cfg.fault_hook, cfg.obs, cfg.threads_per_pe),
         f,
     )
+}
+
+/// The survivors' verdict about one failed attempt, derived from the
+/// universe's accumulated fault ledger plus the per-rank outcomes after
+/// every PE thread has joined.
+///
+/// The consensus rule (DESIGN.md §14): a rank is **dead** iff some
+/// observed error names it in [`CommError::PeerDead::dead`] — deaths are
+/// always *self-reported* at the kill site before the poison propagates,
+/// and `localize` preserves the `dead` coordinate, so every survivor's
+/// propagated copy corroborates the same rank. A [`CommError::Timeout`]
+/// with no corroborating death is **transient**: the peer was slow (or a
+/// message was delayed past the watchdog), not gone, so the attempt is
+/// retried in place rather than escalated to a respawn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureVerdict {
+    /// Ranks declared dead, ascending and distinct.
+    pub dead: Vec<usize>,
+    /// Uncorroborated deadline expiries observed across the group.
+    pub timeouts: usize,
+}
+
+impl FailureVerdict {
+    /// Derives the verdict from a finished (failed) attempt.
+    pub fn from_run<R>(ledger: &[CommError], results: &[Result<R, CommError>]) -> Self {
+        let mut verdict = FailureVerdict::default();
+        let errors = ledger
+            .iter()
+            .chain(results.iter().filter_map(|r| r.as_ref().err()));
+        for err in errors {
+            match err {
+                CommError::PeerDead { dead, .. } => {
+                    if !verdict.dead.contains(dead) {
+                        verdict.dead.push(*dead);
+                    }
+                }
+                CommError::Timeout { .. } => verdict.timeouts += 1,
+            }
+        }
+        verdict.dead.sort_unstable();
+        verdict
+    }
+
+    /// True iff nothing died: every failure was an uncorroborated timeout.
+    pub fn is_transient(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
+
+/// Knobs for [`run_config_supervised`]: the base run configuration plus
+/// the recovery budgets.
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// Deadline, fault hook, obs registry, and worker-pool width for every
+    /// attempt. The supervisor widens the deadline geometrically across
+    /// transient retries (×2 per retry, capped at ×32) so a slow-but-alive
+    /// group eventually outruns its watchdog, and disarms the fault hook's
+    /// kills for ranks already declared dead so respawned replacements are
+    /// not re-killed.
+    pub base: RunConfig,
+    /// Transient retries allowed per recovery window before a timeout-only
+    /// failure escalates to a full recovery.
+    pub max_retries: u32,
+    /// Full recoveries (respawn + resume) allowed before giving up.
+    pub max_recoveries: u32,
+    /// Base backoff before a transient retry, in milliseconds; doubles per
+    /// retry with a seeded jitter on top. Wall-clock only — it never
+    /// affects results.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            base: RunConfig::default(),
+            max_retries: 3,
+            max_recoveries: 4,
+            backoff_base_ms: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// What the supervisor tells each attempt's PE closures about history:
+/// enough to decide between a fresh start and a checkpoint resume.
+#[derive(Clone, Debug, Default)]
+pub struct AttemptInfo {
+    /// 0 for the first launch, incremented per relaunch (retries and
+    /// recoveries both count).
+    pub attempt: u32,
+    /// Full recoveries completed before this attempt.
+    pub recoveries: u32,
+    /// Every rank declared dead so far, ascending. The PEs running those
+    /// ranks in this attempt are the respawned replacements.
+    pub dead_ranks: Vec<usize>,
+}
+
+/// Wraps the user's fault hook, muting `kill_at_phase` for ranks already
+/// declared dead: their replacements run the same plan minus the kill
+/// that already fired. Send faults keep flowing — delays and stalls are
+/// wall-clock-only and harmless to re-apply.
+struct DisarmedKills {
+    inner: Arc<dyn FaultHook>,
+    /// Sorted ranks whose kills are spent.
+    disarmed: Vec<usize>,
+}
+
+impl FaultHook for DisarmedKills {
+    fn on_send(&self, src: usize, dst: usize, tag: Tag, seq: u64) -> crate::comm::SendFault {
+        self.inner.on_send(src, dst, tag, seq)
+    }
+
+    fn kill_at_phase(&self, rank: usize) -> Option<u64> {
+        if self.disarmed.binary_search(&rank).is_ok() {
+            return None;
+        }
+        self.inner.kill_at_phase(rank)
+    }
+}
+
+/// Watchdog-widening cap: deadlines stop doubling after ×32.
+const MAX_WIDEN_EXP: u32 = 5;
+
+/// Runs `f` on `p` PEs under automatic recovery (DESIGN.md §14): every
+/// structured group failure is classified by [`FailureVerdict`] and either
+/// retried in place (transient timeout, seeded backoff + widened deadline)
+/// or answered with a full recovery — a fresh universe whose closures see
+/// the dead ranks in [`AttemptInfo`] and are expected to resume from their
+/// latest checkpoint (see `parhip_distributed_supervised` in `core`).
+///
+/// Returns the per-rank values of the first fully successful attempt plus
+/// the recovery counters, or the terminal error once the budgets are
+/// exhausted. Genuine panics still propagate as panics — recovery is for
+/// structured comm failures, not broken invariants. When `base.obs` is
+/// set, the counters are also written into the registry so they appear in
+/// the RunReport, and the supervisor marks `recovery`/`consensus` spans on
+/// rank 0's timeline between attempts.
+pub fn run_config_supervised<R, F>(
+    p: usize,
+    sup: SupervisorConfig,
+    f: F,
+) -> Result<(Vec<R>, RecoveryReport), CommError>
+where
+    R: Send,
+    F: Fn(&Comm, &AttemptInfo) -> R + Sync,
+{
+    let SupervisorConfig {
+        base,
+        max_retries,
+        max_recoveries,
+        backoff_base_ms,
+        seed,
+    } = sup;
+    let mut report = RecoveryReport::default();
+    let mut dead_all: Vec<usize> = Vec::new();
+    // Transient retries since the last recovery (the escalation budget).
+    let mut retries_window: u32 = 0;
+    // Monotone widening exponent: never reset, so a consistently slow
+    // group keeps its earned headroom even across an escalation.
+    let mut widen: u32 = 0;
+    let mut attempt: u32 = 0;
+    let publish = |report: &RecoveryReport| {
+        if let Some(obs) = &base.obs {
+            let snap = report.clone();
+            obs.record_recovery(move |r| {
+                // `lost_cycles` belongs to the partitioner's supervised
+                // wrapper (the runner has no notion of V-cycles).
+                let lost = r.lost_cycles;
+                *r = snap;
+                r.lost_cycles = lost;
+            });
+        }
+    };
+    loop {
+        report.attempts += 1;
+        let hook = base.fault_hook.as_ref().map(|h| {
+            if dead_all.is_empty() {
+                Arc::clone(h)
+            } else {
+                Arc::new(DisarmedKills {
+                    inner: Arc::clone(h),
+                    disarmed: dead_all.clone(),
+                }) as Arc<dyn FaultHook>
+            }
+        });
+        let deadline = base
+            .deadline
+            .map(|d| d * (1u32 << widen.min(MAX_WIDEN_EXP)));
+        let info = AttemptInfo {
+            attempt,
+            recoveries: u32::try_from(report.recoveries).unwrap_or(u32::MAX),
+            dead_ranks: dead_all.clone(),
+        };
+        let universe =
+            Universe::with_config_threads(p, deadline, hook, base.obs.clone(), base.threads_per_pe);
+        let results = run_universe(Arc::clone(&universe), |comm| f(comm, &info));
+        if results.iter().all(Result::is_ok) {
+            publish(&report);
+            let values = results
+                .into_iter()
+                .map(|r| r.expect("all outcomes checked ok"))
+                .collect();
+            return Ok((values, report));
+        }
+        // Failure consensus: the poison handshake already showed every
+        // survivor the same fault state; the post-join ledger makes the
+        // verdict exact even under concurrent multi-rank failures.
+        let ledger = universe.fault_ledger();
+        let verdict = {
+            // No PE threads are alive between attempts, so rank 0's cell
+            // is free for the supervisor's own recovery spans.
+            let rec = base.obs.as_ref().map(|o| o.recorder(0));
+            let _recovery = rec.as_ref().map(|r| r.span("recovery"));
+            let _consensus = rec.as_ref().map(|r| r.span("consensus"));
+            FailureVerdict::from_run(&ledger, &results)
+        };
+        let first_error = || {
+            ledger
+                .first()
+                .cloned()
+                .or_else(|| results.iter().find_map(|r| r.as_ref().err().cloned()))
+                .expect("failed attempt has at least one error")
+        };
+        let new_dead: Vec<usize> = verdict
+            .dead
+            .iter()
+            .copied()
+            .filter(|r| !dead_all.contains(r))
+            .collect();
+        let escalate_transient = new_dead.is_empty() && retries_window >= max_retries;
+        if !new_dead.is_empty() || escalate_transient {
+            // Full recovery: declare the ranks dead, respawn, resume.
+            if report.recoveries >= u64::from(max_recoveries) {
+                publish(&report);
+                return Err(first_error());
+            }
+            report.recoveries += 1;
+            retries_window = 0;
+            dead_all.extend(new_dead);
+            dead_all.sort_unstable();
+            report.dead_ranks = dead_all.clone();
+        } else {
+            // Transient: back off deterministically, widen the watchdog,
+            // and re-run — the next attempt resumes from the latest
+            // checkpoint exactly like a recovery would.
+            report.retries += 1;
+            retries_window += 1;
+            widen += 1;
+            let exp = (retries_window - 1).min(MAX_WIDEN_EXP);
+            let jitter = mix_seed(seed, u64::from(attempt)) % (backoff_base_ms + 1);
+            std::thread::sleep(Duration::from_millis((backoff_base_ms << exp) + jitter));
+        }
+        publish(&report);
+        attempt += 1;
+    }
 }
 
 /// Like [`run`], but hands each PE a mutable per-rank seed value derived
@@ -350,6 +607,126 @@ mod tests {
         // Plain `run` keeps the classic single-threaded contract.
         let seen = run(2, |comm| comm.threads_per_pe());
         assert_eq!(seen, vec![1, 1]);
+    }
+
+    #[test]
+    fn verdict_separates_dead_from_transient() {
+        let ledger = vec![
+            CommError::PeerDead { rank: 2, dead: 2 },
+            CommError::Timeout {
+                rank: 0,
+                src: 2,
+                tag: 9,
+            },
+            // Propagated copy on a survivor: same dead coordinate.
+            CommError::PeerDead { rank: 1, dead: 2 },
+        ];
+        let results: Vec<Result<(), CommError>> = vec![
+            Err(CommError::PeerDead { rank: 0, dead: 2 }),
+            Ok(()),
+            Ok(()),
+        ];
+        let v = FailureVerdict::from_run(&ledger, &results);
+        assert_eq!(v.dead, vec![2], "one death, corroborated three ways");
+        assert_eq!(v.timeouts, 1);
+        assert!(!v.is_transient());
+
+        let timeouts_only = vec![CommError::Timeout {
+            rank: 1,
+            src: 0,
+            tag: 3,
+        }];
+        let none: Vec<Result<(), CommError>> = vec![Ok(()), Ok(())];
+        let v = FailureVerdict::from_run(&timeouts_only, &none);
+        assert!(v.is_transient(), "uncorroborated timeout must not kill");
+        assert_eq!(v.timeouts, 1);
+    }
+
+    /// Kills one specific rank at a phase (like pgp-chaos's kill plans,
+    /// local to this module — the chaos crate depends on this one).
+    struct KillOnce {
+        rank: usize,
+        phase: u64,
+    }
+
+    impl FaultHook for KillOnce {
+        fn on_send(
+            &self,
+            _src: usize,
+            _dst: usize,
+            _tag: Tag,
+            _seq: u64,
+        ) -> crate::comm::SendFault {
+            crate::comm::SendFault::Deliver
+        }
+
+        fn kill_at_phase(&self, rank: usize) -> Option<u64> {
+            (rank == self.rank).then_some(self.phase)
+        }
+    }
+
+    #[test]
+    fn supervised_recovers_from_a_kill() {
+        let sup = SupervisorConfig {
+            base: RunConfig {
+                deadline: Some(Duration::from_secs(5)),
+                fault_hook: Some(Arc::new(KillOnce { rank: 1, phase: 0 })),
+                ..RunConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        let (values, report) = run_config_supervised(3, sup, |comm, info| {
+            crate::collectives::barrier(comm);
+            (comm.rank(), info.attempt, info.dead_ranks.clone())
+        })
+        .expect("supervisor must recover from a single kill");
+        // Attempt 0 dies (rank 1's kill fires); attempt 1 runs with the
+        // kill disarmed and every closure sees the consensus verdict.
+        for (rank, (r, attempt, dead)) in values.into_iter().enumerate() {
+            assert_eq!(r, rank);
+            assert_eq!(attempt, 1);
+            assert_eq!(dead, vec![1]);
+        }
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.dead_ranks, vec![1]);
+    }
+
+    #[test]
+    fn supervised_gives_up_when_budget_exhausted() {
+        // A kill can only fire once per rank (the supervisor disarms dead
+        // ranks), so the way to exhaust the recovery budget is to allow
+        // zero recoveries: the very first death must surface as the error.
+        let sup = SupervisorConfig {
+            base: RunConfig {
+                deadline: Some(Duration::from_secs(5)),
+                fault_hook: Some(Arc::new(KillOnce { rank: 0, phase: 0 })),
+                ..RunConfig::default()
+            },
+            max_recoveries: 0,
+            ..SupervisorConfig::default()
+        };
+        let err = run_config_supervised(2, sup, |comm, _| {
+            crate::collectives::barrier(comm);
+            comm.rank()
+        })
+        .expect_err("zero recovery budget must surface the death");
+        assert!(matches!(err, CommError::PeerDead { dead: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn supervised_fault_free_is_single_attempt() {
+        let (values, report) =
+            run_config_supervised(2, SupervisorConfig::default(), |comm, info| {
+                assert_eq!(info.attempt, 0);
+                assert!(info.dead_ranks.is_empty());
+                comm.rank() * 7
+            })
+            .expect("fault-free");
+        assert_eq!(values, vec![0, 7]);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.retries + report.recoveries, 0);
     }
 
     #[test]

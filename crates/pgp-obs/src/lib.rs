@@ -67,7 +67,7 @@ pub use perfetto::{to_perfetto_json, validate_perfetto};
 pub use recorder::{CollectiveGuard, Obs, Recorder, SpanGuard, WaitToken, DEFAULT_TRACE_CAPACITY};
 pub use report::{
     Aggregate, CollectiveEntry, CommReport, HistBucketEntry, PeReport, PeerWaitEntry, PhaseEntry,
-    RunReport, TagEntry, SCHEMA_VERSION,
+    RecoveryReport, RunReport, TagEntry, SCHEMA_VERSION,
 };
 pub use trace::{
     CollectiveSkew, FaultKind, PeTrace, PhaseBlame, RunTrace, TraceEvent, TraceEventKind,

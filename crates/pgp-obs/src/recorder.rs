@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 
 use crate::handoff::FlushSlot;
 use crate::metrics::{LevelMetrics, PhaseStat, RefineMetrics, TagCounter, WaitHistogram};
-use crate::report::{Aggregate, PeReport, RunReport, SCHEMA_VERSION};
+use crate::report::{Aggregate, PeReport, RecoveryReport, RunReport, SCHEMA_VERSION};
 use crate::trace::{FaultKind, PeTrace, RunTrace, TraceEventKind, TraceRing};
 
 /// Default per-PE trace ring capacity (events). Generous enough that
@@ -52,6 +52,10 @@ pub struct Obs {
     /// Whether per-PE trace rings exist (uniform across PEs, so trace
     /// bookkeeping like sequence numbers cannot desync between peers).
     traced: bool,
+    /// Recovery-supervisor counters, written by the supervisor between
+    /// universe launches (no PE threads alive) and between the final
+    /// join and [`Obs::report`]. All-zero for unsupervised runs.
+    recovery: Mutex<RecoveryReport>,
 }
 
 /// All observations of one PE. Single-writer by the owning thread.
@@ -148,6 +152,7 @@ impl Obs {
             epoch_origin: Mutex::new(Instant::now()), // lint:instant-ok: trace epoch origin
             epoch_offset_ns: AtomicU64::new(0),
             traced: trace_capacity.is_some(),
+            recovery: Mutex::new(RecoveryReport::default()),
         })
     }
 
@@ -227,7 +232,15 @@ impl Obs {
             p: self.cells.len(),
             per_pe,
             aggregate,
+            recovery: self.recovery.lock().clone(),
         }
+    }
+
+    /// Mutates the recovery counters in place. Called by the recovery
+    /// supervisor between universe launches and by the partitioner's
+    /// supervised wrapper to fill in `lost_cycles` after the run.
+    pub fn record_recovery(&self, f: impl FnOnce(&mut RecoveryReport)) {
+        f(&mut self.recovery.lock());
     }
 
     /// Assembles the event timelines, or `None` when the registry was

@@ -22,10 +22,19 @@
 //! per-PE event timeline and writes it as Chrome-trace/Perfetto JSON
 //! (DESIGN.md §11) — open at <https://ui.perfetto.dev> to see one track
 //! per PE with spans, collectives, receive waits, and send→recv flows.
+//!
+//! `--recover` (or `recover=1`) runs under the automatic-recovery
+//! supervisor (DESIGN.md §14): V-cycle boundaries are checkpointed every
+//! `checkpoint-every=<n>` cycles (default 1), confirmed PE deaths trigger
+//! respawn-and-resume from the latest snapshot, and uncorroborated
+//! timeouts are retried up to `max-retries=<n>` times (default 3) with
+//! seeded exponential backoff before escalating. The partition is
+//! bit-identical to the fault-free run; recovery counters land in the
+//! run report's `recovery` block.
 
 use pgp::parhip::{
-    partition_parallel, partition_parallel_observed, partition_parallel_traced, GraphClass,
-    ParhipConfig, Preset,
+    partition_parallel, partition_parallel_observed, partition_parallel_supervised,
+    partition_parallel_traced, CheckpointPolicy, GraphClass, ParhipConfig, Preset, RecoveryLimits,
 };
 use pgp::pgp_graph::io::{read_metis_file, write_partition};
 use pgp::pgp_graph::stats::GraphStats;
@@ -40,7 +49,13 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Normalize the conventional `--flag <path>` spellings into the
     // `key=value` form before positional-argument detection.
-    for flag in ["report", "trace", "threads-per-pe"] {
+    for flag in [
+        "report",
+        "trace",
+        "threads-per-pe",
+        "max-retries",
+        "checkpoint-every",
+    ] {
         if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
             if i + 1 >= args.len() {
                 eprintln!("error: --{flag} requires a value argument");
@@ -50,12 +65,17 @@ fn main() -> ExitCode {
             args[i] = format!("{flag}={flag_value}");
         }
     }
+    // `--recover` is a boolean switch, not a value flag.
+    if let Some(i) = args.iter().position(|a| a == "--recover") {
+        args[i] = "recover=1".to_string();
+    }
     let Some(path) = args.iter().find(|a| !a.contains('=')) else {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
              [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] \
              [threads-per-pe=<n>] [output=<file>] [report=<file.json>] \
-             [trace=<file.json>]"
+             [trace=<file.json>] [--recover] [max-retries=<n>] \
+             [checkpoint-every=<n>]"
         );
         return ExitCode::from(2);
     };
@@ -115,13 +135,76 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
 
+    let recover = arg(&args, "recover").is_some_and(|v| v != "0");
+    let max_retries: u32 = arg(&args, "max-retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| RecoveryLimits::default().max_retries);
+    let checkpoint_every: usize = arg(&args, "checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;
     cfg.threads_per_pe = threads_per_pe;
+    cfg.checkpoint = CheckpointPolicy::every(checkpoint_every);
     let report_path = arg(&args, "report");
     let trace_path = arg(&args, "trace");
     let t0 = std::time::Instant::now();
-    let (partition, stats) = if let Some(trace_path) = &trace_path {
+    let (partition, stats) = if recover {
+        let obs = if trace_path.is_some() {
+            Some(pgp::pgp_obs::Obs::with_trace(
+                p,
+                pgp::pgp_obs::DEFAULT_TRACE_CAPACITY,
+            ))
+        } else if report_path.is_some() {
+            Some(pgp::pgp_obs::Obs::new(p))
+        } else {
+            None
+        };
+        let run = pgp::pgp_dmp::RunConfig {
+            obs: obs.clone(),
+            ..Default::default()
+        };
+        let limits = RecoveryLimits {
+            max_retries,
+            ..RecoveryLimits::default()
+        };
+        let (partition, stats, recovery) =
+            match partition_parallel_supervised(&graph, p, &cfg, run, limits) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: recovery budget exhausted: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        eprintln!(
+            "recovery: {} attempt(s), {} transient retries, {} full recoveries, \
+             dead ranks {:?}, {} lost V-cycle(s)",
+            recovery.attempts,
+            recovery.retries,
+            recovery.recoveries,
+            recovery.dead_ranks,
+            recovery.lost_cycles
+        );
+        if let Some(obs) = &obs {
+            if let Some(trace_path) = &trace_path {
+                let trace = obs.trace().expect("registry was built with tracing on");
+                if let Err(e) = std::fs::write(trace_path, pgp::pgp_obs::to_perfetto_json(&trace)) {
+                    eprintln!("error writing {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote trace {trace_path}");
+            }
+            if let Some(report_path) = &report_path {
+                if let Err(e) = std::fs::write(report_path, obs.report().to_json(false)) {
+                    eprintln!("error writing {report_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote run report {report_path}");
+            }
+        }
+        (partition, stats)
+    } else if let Some(trace_path) = &trace_path {
         let (partition, stats, report, trace) = partition_parallel_traced(&graph, p, &cfg, None);
         if let Err(e) = std::fs::write(trace_path, pgp::pgp_obs::to_perfetto_json(&trace)) {
             eprintln!("error writing {trace_path}: {e}");
