@@ -8,10 +8,15 @@
 //! ```text
 //! cargo run -p bench --release --bin partition -- \
 //!     [graph=amazon] [tier=small] [k=4] [p=4] [seed=1] [preset=fast] \
-//!     [threads_per_pe=1] [report=results/run_report.json] \
+//!     [backend=threads] [threads_per_pe=1] \
+//!     [report=results/run_report.json] \
 //!     [trace=results/trace.json] [recover=1] [max_retries=3] \
 //!     [checkpoint_every=1]
 //! ```
+//!
+//! `backend=threads|sockets` (or `--backend <b>`) selects the comm
+//! transport (DESIGN.md §15); the report's `backend` field records which
+//! one carried the run, and the partition is bit-identical either way.
 //!
 //! `--report <path>` / `--trace <path>` are accepted as aliases for the
 //! `key=value` forms. The report format is documented in DESIGN.md §10,
@@ -36,7 +41,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Normalize the conventional `--flag <path>` spellings into the
     // harness `key=value` form.
-    for flag in ["report", "trace"] {
+    for flag in ["report", "trace", "backend"] {
         if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
             assert!(i + 1 < args.len(), "--{flag} requires a path argument");
             let path = args.remove(i + 1);
@@ -64,19 +69,24 @@ fn main() {
         benchmark_set::GraphClass::Mesh => GraphClass::Mesh,
     };
     let threads_per_pe = arg_usize(&args, "threads_per_pe", 1);
+    let backend: pgp_dmp::BackendKind = arg(&args, "backend")
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or_default();
     let recover = arg(&args, "recover").is_some_and(|v| v != "0");
     let max_retries = arg_usize(&args, "max_retries", 3) as u32;
     let checkpoint_every = arg_usize(&args, "checkpoint_every", 1);
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
+    cfg.backend = backend;
     cfg.threads_per_pe = threads_per_pe;
     cfg.checkpoint = parhip::CheckpointPolicy::every(checkpoint_every);
     let graph = &inst.graph;
     println!(
         "partition: {} (n = {}, m = {}), k = {k}, p = {p}, preset = {preset:?}, seed = {seed}, \
-         threads_per_pe = {threads_per_pe}",
+         backend = {}, threads_per_pe = {threads_per_pe}",
         inst.name,
         graph.n(),
-        graph.m()
+        graph.m(),
+        backend.name()
     );
 
     let trace_path = arg(&args, "trace");
@@ -87,6 +97,7 @@ fn main() {
             pgp_obs::Obs::new(p)
         };
         let run = pgp_dmp::RunConfig {
+            backend: cfg.backend,
             obs: Some(obs.clone()),
             ..Default::default()
         };

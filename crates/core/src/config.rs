@@ -109,6 +109,11 @@ pub struct ParhipConfig {
     /// (DESIGN.md §14). Not part of the fingerprint: it never affects
     /// the partition.
     pub checkpoint: CheckpointPolicy,
+    /// Comm transport carrying the run (DESIGN.md §15). Not part of the
+    /// fingerprint: the cross-backend golden tests prove the partition is
+    /// identical under either backend, and a checkpoint taken on threads
+    /// must be resumable over sockets.
+    pub backend: pgp_dmp::BackendKind,
 }
 
 impl ParhipConfig {
@@ -130,6 +135,7 @@ impl ParhipConfig {
             mesh_first_cluster_weight: 32,
             threads_per_pe: 1,
             checkpoint: CheckpointPolicy::default(),
+            backend: pgp_dmp::BackendKind::Threads,
         };
         match preset {
             Preset::Fast => base,

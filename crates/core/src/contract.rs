@@ -38,7 +38,7 @@ pub struct ParContraction {
 /// Generic owner lookup: resolves `value_of(local_index)` on the owner of
 /// each queried global ID. `queries` may contain duplicates; the result is
 /// aligned with `queries`.
-pub fn query_owner_values<T: Clone + Send + 'static>(
+pub fn query_owner_values<T: Clone + pgp_dmp::Wire>(
     comm: &Comm,
     dist: BlockDist,
     queries: &[Node],

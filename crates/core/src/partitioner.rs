@@ -626,10 +626,11 @@ pub fn partition_parallel_with_input(
     partition_parallel_impl(graph, p, cfg, Some(input))
 }
 
-/// The runner configuration implied by `cfg` — currently just the
+/// The runner configuration implied by `cfg` — the comm backend and the
 /// intra-PE worker budget (the observed/traced entry points add `obs`).
 fn run_config_for(cfg: &ParhipConfig) -> pgp_dmp::RunConfig {
     pgp_dmp::RunConfig {
+        backend: cfg.backend,
         threads_per_pe: cfg.threads_per_pe,
         ..Default::default()
     }

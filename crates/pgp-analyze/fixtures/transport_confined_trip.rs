@@ -1,0 +1,22 @@
+// Trip fixture for transport-confined: an algorithm-layer file reaching
+// through the backend seam — naming mailbox internals, socket-backend
+// types, the frame codec, and a raw OS stream type.
+
+use std::os::unix::net::UnixStream;
+
+fn peek_mailbox(mb: &Mailbox) -> usize {
+    mb.len()
+}
+
+fn steal_endpoint(group: &SocketGroup) -> SocketEndpoint {
+    group.endpoint(0)
+}
+
+fn hand_roll_a_frame(stream: &mut UnixStream, payload: &[u8]) {
+    write_frame(stream, 7, 0, payload).expect("frame write");
+}
+
+fn decode_by_hand(stream: &mut UnixStream) -> Vec<u8> {
+    let frame = read_frame(stream).expect("frame read").expect("one frame");
+    frame.payload
+}

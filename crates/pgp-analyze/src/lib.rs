@@ -16,6 +16,9 @@
 //! - [`errs`] — swallowed structured faults: `Result<_, CommError>`
 //!   unwrapped or discarded outside the runner's terminal collection
 //!   point, losing the coordinates the recovery supervisor consumes.
+//! - [`transport`] — transport confinement: mailbox/socket/frame internals
+//!   and raw OS stream types named outside comm.rs and the transport/
+//!   modules, breaching the pluggable-backend seam (DESIGN.md §15).
 //!
 //! Findings are suppressible with `// analyze:allow(rule-id)` on the same
 //! line or the line above; stale markers are themselves findings
@@ -31,6 +34,7 @@ pub mod parse;
 pub mod protocol;
 pub mod report;
 pub mod spmd;
+pub mod transport;
 
 pub use report::{Finding, RULES};
 
@@ -101,6 +105,7 @@ pub fn analyze_files(files: &[SourceFile]) -> Analysis {
     raw.extend(spmd::check(&units));
     raw.extend(determinism::check(&units));
     raw.extend(errs::check(&units));
+    raw.extend(transport::check(&units));
 
     let allows: Vec<(String, Vec<lexer::Allow>)> = units
         .iter()

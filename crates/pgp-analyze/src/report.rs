@@ -21,6 +21,9 @@ pub const RULE_CHUNK_MERGE: &str = "det-unordered-chunk-merge";
 /// Rule: a `Result<_, CommError>` unwrapped/expected/discarded outside the
 /// runner's terminal collection point.
 pub const RULE_ERR_SWALLOWED: &str = "err-swallowed-commerror";
+/// Rule: a transport-layer internal (mailbox machinery, socket endpoints,
+/// the frame codec, raw OS stream types) named outside comm.rs/transport/.
+pub const RULE_TRANSPORT_CONFINED: &str = "transport-confined";
 /// Rule: an `analyze:allow` marker that suppressed nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 
@@ -58,6 +61,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_ERR_SWALLOWED,
         "a Result<_, CommError> is unwrapped, expected, or discarded with `let _ =` outside the runner's terminal collection point (the structured fault the recovery supervisor needs is swallowed)",
+    ),
+    (
+        RULE_TRANSPORT_CONFINED,
+        "a transport-layer internal (mailbox machinery, socket endpoints, frame codec, raw OS streams) is named outside comm.rs/transport/ — the backend seam is breached and cross-backend golden equivalence no longer covers the caller",
     ),
     (
         RULE_UNUSED_ALLOW,

@@ -224,6 +224,47 @@ fn err_swallowed_commerror_passes_on_handled_faults() {
 }
 
 #[test]
+fn transport_confined_trips_on_every_breach_kind() {
+    let a = analyze_one(PROTO_REL, "transport_confined_trip.rs");
+    assert_eq!(rules(&a), vec!["transport-confined"]);
+    assert_eq!(
+        a.findings.len(),
+        8,
+        "use, mailbox, socket types, frame codec, raw streams: {:?}",
+        a.findings
+    );
+    let msgs: String = a
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(msgs.contains("`Mailbox`"), "mailbox internal: {msgs}");
+    assert!(msgs.contains("`SocketEndpoint`"), "socket type: {msgs}");
+    assert!(msgs.contains("`write_frame`"), "frame codec: {msgs}");
+    assert!(msgs.contains("`UnixStream`"), "raw OS stream: {msgs}");
+}
+
+#[test]
+fn transport_confined_exempts_the_owning_layer() {
+    // The identical breaches inside the transport layer itself: silent.
+    for owner in [
+        "crates/pgp-dmp/src/comm.rs",
+        "crates/pgp-dmp/src/transport/socket.rs",
+        "crates/pgp-dmp/src/transport/frame.rs",
+    ] {
+        let a = analyze_one(owner, "transport_confined_trip.rs");
+        assert_eq!(a.findings, Vec::new(), "owner file {owner} is exempt");
+    }
+}
+
+#[test]
+fn transport_confined_passes_on_comm_api_usage() {
+    let a = analyze_one(PROTO_REL, "transport_confined_pass.rs");
+    assert_eq!(a.findings, Vec::new());
+}
+
+#[test]
 fn unused_allow_trips_for_stale_and_unknown_markers() {
     let a = analyze_one(DET_REL, "unused_allow_trip.rs");
     assert_eq!(rules(&a), vec!["unused-allow"]);

@@ -8,6 +8,7 @@
 #![allow(clippy::needless_range_loop)] // rank-indexed receive loops are clearest as written
 
 use crate::comm::{Comm, CommError, Tag};
+use crate::wire::Wire;
 // Operation codes mixed into the per-call tag block (diagnostic only; the
 // block number alone already guarantees uniqueness across calls). Defined
 // centrally in `tags` with the payload type each op carries.
@@ -34,12 +35,7 @@ pub fn barrier(comm: &Comm) {
     }
 }
 
-fn bcast_internal<T: Clone + Send + 'static>(
-    comm: &Comm,
-    root: usize,
-    value: Option<T>,
-    tag: Tag,
-) -> T {
+fn bcast_internal<T: Clone + Wire>(comm: &Comm, root: usize, value: Option<T>, tag: Tag) -> T {
     let p = comm.size();
     // Rotate ranks so the root is virtual rank 0, then run a binomial tree.
     let vrank = (comm.rank() + p - root) % p;
@@ -74,7 +70,7 @@ fn bcast_internal<T: Clone + Send + 'static>(
 }
 
 /// Broadcast from `root`. The root passes `Some(value)`, others `None`.
-pub fn broadcast<T: Clone + Send + 'static>(comm: &Comm, root: usize, value: Option<T>) -> T {
+pub fn broadcast<T: Clone + Wire>(comm: &Comm, root: usize, value: Option<T>) -> T {
     let _coll = comm.recorder().collective_span("broadcast");
     let tag = comm.fresh_tag_block() + OP_BCAST;
     bcast_internal(comm, root, value, tag)
@@ -84,7 +80,7 @@ pub fn broadcast<T: Clone + Send + 'static>(comm: &Comm, root: usize, value: Opt
 /// Returns `Some(total)` on the root, `None` elsewhere.
 pub fn reduce<T, F>(comm: &Comm, root: usize, value: T, op: F) -> Option<T>
 where
-    T: Send + 'static,
+    T: Wire,
     F: Fn(T, T) -> T,
 {
     let _coll = comm.recorder().collective_span("reduce");
@@ -94,7 +90,7 @@ where
 
 fn reduce_internal<T, F>(comm: &Comm, root: usize, value: T, op: F, tag: Tag) -> Option<T>
 where
-    T: Send + 'static,
+    T: Wire,
     F: Fn(T, T) -> T,
 {
     let p = comm.size();
@@ -130,7 +126,7 @@ where
 /// is the paper's mechanism for exact global block weights (§IV-B).
 pub fn allreduce<T, F>(comm: &Comm, value: T, op: F) -> T
 where
-    T: Clone + Send + 'static,
+    T: Clone + Wire,
     F: Fn(T, T) -> T,
 {
     let _coll = comm.recorder().collective_span("allreduce");
@@ -194,7 +190,7 @@ pub fn exscan_sum(comm: &Comm, value: u64) -> u64 {
 }
 
 /// Gather to `root`: returns `Some(values-in-rank-order)` on the root.
-pub fn gather<T: Send + 'static>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
+pub fn gather<T: Wire>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
     let _coll = comm.recorder().collective_span("gather");
     let tag = comm.fresh_tag_block() + OP_GATHER;
     if comm.rank() == root {
@@ -213,7 +209,7 @@ pub fn gather<T: Send + 'static>(comm: &Comm, root: usize, value: T) -> Option<V
 }
 
 /// Allgather: every PE receives every PE's value, in rank order.
-pub fn allgather<T: Clone + Send + 'static>(comm: &Comm, value: T) -> Vec<T> {
+pub fn allgather<T: Clone + Wire>(comm: &Comm, value: T) -> Vec<T> {
     let _coll = comm.recorder().collective_span("allgather");
     let tag = comm.fresh_tag_block() + OP_ALLGATHER;
     // Direct exchange: p−1 sends + p−1 receives per PE.
@@ -234,7 +230,7 @@ pub fn allgather<T: Clone + Send + 'static>(comm: &Comm, value: T) -> Vec<T> {
 
 /// Concatenating allgather of vectors (allgatherv): the result is the
 /// concatenation of all PEs' vectors in rank order.
-pub fn allgatherv<T: Clone + Send + 'static>(comm: &Comm, value: Vec<T>) -> Vec<T> {
+pub fn allgatherv<T: Clone + Wire>(comm: &Comm, value: Vec<T>) -> Vec<T> {
     let parts = allgather(comm, value);
     parts.into_iter().flatten().collect()
 }
@@ -243,7 +239,7 @@ pub fn allgatherv<T: Clone + Send + 'static>(comm: &Comm, value: Vec<T>) -> Vec<
 /// the vector received from each PE, in rank order. The workhorse of the
 /// parallel contraction (quotient-edge redistribution) and uncoarsening
 /// (block-ID queries).
-pub fn alltoallv<T: Send + 'static>(comm: &Comm, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+pub fn alltoallv<T: Wire>(comm: &Comm, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
     let _coll = comm.recorder().collective_span("alltoallv");
     assert_eq!(sends.len(), comm.size(), "one send vector per PE required");
     let tag = comm.fresh_tag_block() + OP_ALLTOALL;
@@ -298,7 +294,7 @@ pub fn try_barrier(comm: &Comm, deadline: Duration) -> Result<(), CommError> {
 }
 
 /// Allgather with a per-receive `deadline`.
-pub fn try_allgather<T: Clone + Send + 'static>(
+pub fn try_allgather<T: Clone + Wire>(
     comm: &Comm,
     value: T,
     deadline: Duration,
@@ -321,7 +317,7 @@ pub fn try_allgather<T: Clone + Send + 'static>(
 }
 
 /// Concatenating allgatherv with a per-receive `deadline`.
-pub fn try_allgatherv<T: Clone + Send + 'static>(
+pub fn try_allgatherv<T: Clone + Wire>(
     comm: &Comm,
     value: Vec<T>,
     deadline: Duration,
@@ -340,7 +336,7 @@ pub fn try_allreduce_sum(comm: &Comm, value: u64, deadline: Duration) -> Result<
 }
 
 /// Personalized all-to-all with a per-receive `deadline`.
-pub fn try_alltoallv<T: Send + 'static>(
+pub fn try_alltoallv<T: Wire>(
     comm: &Comm,
     mut sends: Vec<Vec<T>>,
     deadline: Duration,

@@ -1,58 +1,59 @@
 //! Point-to-point message passing between simulated processing elements.
 //!
-//! Each PE owns a mailbox bucketed by `(source, tag)`: a per-sender slot
-//! array indexed by a hash of the tag, with a small overflow list for slot
-//! collisions. A [`Comm`] handle identifies one PE and can send a typed
-//! message to any other PE and *selectively* receive by `(source, tag)` —
-//! the same programming model as MPI's `MPI_Send`/`MPI_Recv` with tags,
-//! which is what the paper's implementation uses. Selective receive is an
-//! O(1) bucket lookup instead of an O(queue) scan, so deep tag backlogs
-//! (phase-overlapped exchanges, pipelined collectives) stay cheap.
+//! A [`Comm`] handle identifies one PE and can send a typed message to any
+//! other PE and *selectively* receive by `(source, tag)` — the same
+//! programming model as MPI's `MPI_Send`/`MPI_Recv` with tags, which is
+//! what the paper's implementation uses.
 //!
-//! Payloads move between threads of one process, so "serialization" is a
-//! pointer move. The dominant payload types — `Vec<(Node, Node)>` label
-//! updates and `Vec<u64>` reduction vectors — travel through a typed enum
-//! fast path with no `Box<dyn Any>` allocation; everything else falls back
-//! to boxing. The *communication pattern and volume* of the algorithms
-//! built on top are nevertheless exactly those of the MPI program (see
-//! DESIGN.md §2 and the "Hot-path memory layout" section).
+//! Since PR 9 the layer is split (DESIGN.md §15): everything
+//! transport-agnostic — typed pack/unpack, fault-injection limbo queues,
+//! observability recording, poison *reaction* — lives here, while message
+//! *movement* sits behind the crate-internal
+//! [`Transport`](crate::transport) trait with two implementations:
 //!
-//! # Single-consumer invariant
+//! * the **thread backend** ([`Universe`] + per-`(src, tag)` bucketed
+//!   mailboxes): payloads move between threads of one process, so
+//!   "serialization" is a pointer move. The dominant payload types —
+//!   `Vec<(Node, Node)>` label updates and `Vec<u64>` reduction vectors —
+//!   travel through a typed enum fast path with no `Box<dyn Any>`
+//!   allocation. The *communication pattern and volume* of the algorithms
+//!   built on top are nevertheless exactly those of the MPI program (see
+//!   DESIGN.md §2 and the "Hot-path memory layout" section).
+//! * the **socket backend**: every payload is [`Wire`]-encoded into a
+//!   length-prefixed frame and crosses a Unix-domain socket — in-process
+//!   (PE threads over socketpairs) or with one OS process per PE.
 //!
-//! Mailbox `r` is only ever *received from* by PE `r`'s own thread (every
-//! `recv*`/`drain` call operates on `self.rank`'s mailbox). At most one
-//! thread can therefore be parked on a mailbox's condvar at any time, which
-//! makes `notify_one` on the send path sufficient — there is no second
-//! waiter a wakeup could be lost to. The loom model in
-//! `tests/concurrency.rs` checks this handshake.
+//! Every payload type must implement [`Wire`] so any message can cross
+//! either backend; protocols stay socket-clean by construction.
 //!
 //! # Fault model (DESIGN.md §9)
 //!
 //! A [`Universe`] can be built with a [`FaultHook`] (fault injection) and a
 //! watchdog deadline (fault *tolerance*). The hook is a pure decision
 //! oracle — it only ever sees `(src, dst, tag, seq)` integers and returns a
-//! [`SendFault`]; the mailbox internals, including delayed payloads parked
-//! in per-`(dst, tag)` limbo queues, never leave this file. Failures are
-//! reported as [`CommError`] through the *poison* protocol: the first PE to
-//! observe a fatal condition (deadline expiry, a dead peer, a panic) poisons
-//! the universe, and every other PE unwinds with a structured error at its
-//! next blocking operation instead of parking forever.
+//! [`SendFault`]; the transport internals, including delayed payloads parked
+//! in per-`(dst, tag)` limbo queues, never leave the comm layer. Failures
+//! are reported as [`CommError`] through the *poison* protocol: the first PE
+//! to observe a fatal condition (deadline expiry, a dead peer, a panic)
+//! poisons the group, and every other PE unwinds with a structured error at
+//! its next blocking operation instead of parking forever.
 
-use parking_lot::{Condvar, Mutex};
-use pgp_graph::{ids, Node};
+use crate::transport::thread::{Mailbox, ThreadTransport};
+use crate::transport::{pack, pack_encoded, unpack, Payload, RecvOutcome, Transport};
+use crate::wire::{Wire, WireError, WireReader};
+use parking_lot::Mutex;
 use pgp_obs::{Obs, Recorder};
-use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A message tag. The high bits carry a per-collective sequence number so
 /// that back-to-back collective calls on different PEs can never interleave.
 pub type Tag = u64;
 
 /// A structured communication failure. Blocking operations surface these
-/// instead of parking forever once the universe is poisoned or a deadline
+/// instead of parking forever once the group is poisoned or a deadline
 /// (the deadlock watchdog) expires.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommError {
@@ -67,8 +68,9 @@ pub enum CommError {
         /// The tag it was waiting for.
         tag: Tag,
     },
-    /// A peer PE died (was killed by fault injection or panicked) while
-    /// `rank` still depended on it.
+    /// A peer PE died (was killed by fault injection, panicked, or — on
+    /// the socket backend — its process terminated or its connection
+    /// reset) while `rank` still depended on it.
     PeerDead {
         /// The PE reporting the failure.
         rank: usize,
@@ -92,6 +94,41 @@ impl std::fmt::Display for CommError {
 }
 
 impl std::error::Error for CommError {}
+
+/// `CommError` crosses process boundaries in `POISON` control frames and
+/// worker result files, so it needs a wire form of its own.
+impl Wire for CommError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CommError::Timeout { rank, src, tag } => {
+                out.push(0);
+                rank.encode(out);
+                src.encode(out);
+                tag.encode(out);
+            }
+            CommError::PeerDead { rank, dead } => {
+                out.push(1);
+                rank.encode(out);
+                dead.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(CommError::Timeout {
+                rank: usize::decode(r)?,
+                src: usize::decode(r)?,
+                tag: Tag::decode(r)?,
+            }),
+            1 => Ok(CommError::PeerDead {
+                rank: usize::decode(r)?,
+                dead: usize::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid("CommError discriminant")),
+        }
+    }
+}
 
 /// Crate-internal unwind sentinel: infallible comm APIs abort a poisoned
 /// PE by panicking with this payload. The runner recognizes it and converts
@@ -135,12 +172,15 @@ pub enum SendFault {
 /// program must yield the same decisions. The xtask lint confines this
 /// trait (and [`SendFault`]) to the comm layer and the `pgp-chaos` crate so
 /// algorithm code can never grow a dependency on fault injection.
+///
+/// The limbo queues live in [`Comm`] — *above* the transport seam — so the
+/// same chaos plans drive both the thread and the socket backend.
 pub trait FaultHook: Send + Sync {
     /// Decision for send event `seq` (a per-sender counter) from `src` to
     /// `dst` with `tag`.
     fn on_send(&self, src: usize, dst: usize, tag: Tag, seq: u64) -> SendFault;
 
-    /// If `Some(p)`, PE `rank` is killed (unwound, poisoning the universe
+    /// If `Some(p)`, PE `rank` is killed (unwound, poisoning the group
     /// with [`CommError::PeerDead`]) when it starts phase `p` — phases are
     /// counted per PE as [`Comm::fresh_tag_block`] calls.
     fn kill_at_phase(&self, rank: usize) -> Option<u64> {
@@ -149,207 +189,11 @@ pub trait FaultHook: Send + Sync {
     }
 }
 
-/// A message payload. The two variants before `Other` are the dominant
-/// payload types on the hot path (ghost-label updates and reduction
-/// vectors); they move as plain enum variants with no heap indirection
-/// beyond the `Vec` itself. Everything else is boxed as `dyn Any`.
-enum Payload {
-    /// Ghost-label / assignment updates: the `LabelExchange` wire format.
-    Pairs(Vec<(Node, Node)>),
-    /// Reduction and gather vectors used by the collectives.
-    U64s(Vec<u64>),
-    /// Fallback for all other message types.
-    Other(Box<dyn Any + Send>),
-}
-
-impl Payload {
-    /// Payload size in wire bytes. Computed from the same value on the
-    /// send and the receive side of a message, so the per-tag totals the
-    /// recorder accumulates satisfy Σ sent − Σ dropped == Σ received
-    /// *exactly* (the conservation tests assert this). For boxed payloads
-    /// the concrete size is recovered through the vtable.
-    fn wire_bytes(&self) -> u64 {
-        match self {
-            Payload::Pairs(v) => ids::count_global(v.len() * std::mem::size_of::<(Node, Node)>()),
-            Payload::U64s(v) => ids::count_global(v.len() * std::mem::size_of::<u64>()),
-            Payload::Other(b) => ids::count_global(std::mem::size_of_val(&**b)),
-        }
-    }
-}
-
-/// Wraps `msg` into a [`Payload`], routing the dominant types into their
-/// unboxed variants. The `Option` dance moves the value out through a
-/// `&mut dyn Any` without `unsafe` and without boxing on the fast path.
-fn pack<T: Send + 'static>(msg: T) -> Payload {
-    let mut slot = Some(msg);
-    let any: &mut dyn Any = &mut slot;
-    if let Some(v) = any.downcast_mut::<Option<Vec<(Node, Node)>>>() {
-        return Payload::Pairs(v.take().expect("freshly wrapped"));
-    }
-    if let Some(v) = any.downcast_mut::<Option<Vec<u64>>>() {
-        return Payload::U64s(v.take().expect("freshly wrapped"));
-    }
-    Payload::Other(Box::new(slot.take().expect("freshly wrapped")))
-}
-
-/// Unwraps a [`Payload`] back into `T`, symmetric to [`pack`].
-///
-/// # Panics
-/// Panics if the payload's type does not match `T` — that is a protocol
-/// bug, not a runtime condition. The message names the expected type and
-/// the actual payload type (for the typed fast-path variants the actual
-/// type is known statically; for boxed payloads only its `TypeId` is
-/// recoverable through `dyn Any`).
-fn unpack<T: Send + 'static>(payload: Payload, src: usize, tag: Tag) -> T {
-    fn mismatch<T>(src: usize, tag: Tag, actual: &str) -> ! {
-        // `tags::describe` names the offset constant (OP_BCAST,
-        // GHOST_LABELS, ...) so the runtime panic and the static
-        // `cargo xtask analyze` finding point at the same protocol entry.
-        panic!(
-            "type mismatch on {} from {src}: expected {}, got {actual}",
-            crate::tags::describe(tag),
-            std::any::type_name::<T>()
-        )
-    }
-    match payload {
-        Payload::Pairs(v) => {
-            let mut slot = Some(v);
-            let any: &mut dyn Any = &mut slot;
-            match any.downcast_mut::<Option<T>>() {
-                Some(out) => out.take().expect("freshly wrapped"),
-                None => mismatch::<T>(src, tag, "Vec<(Node, Node)> (typed fast path)"),
-            }
-        }
-        Payload::U64s(v) => {
-            let mut slot = Some(v);
-            let any: &mut dyn Any = &mut slot;
-            match any.downcast_mut::<Option<T>>() {
-                Some(out) => out.take().expect("freshly wrapped"),
-                None => mismatch::<T>(src, tag, "Vec<u64> (typed fast path)"),
-            }
-        }
-        Payload::Other(b) => match b.downcast::<T>() {
-            Ok(v) => *v,
-            Err(b) => mismatch::<T>(
-                src,
-                tag,
-                &format!("a boxed payload with {:?}", (*b).type_id()),
-            ),
-        },
-    }
-}
-
-/// Direct-mapped tag slots per sender; collisions spill to the overflow
-/// list. Eight covers the tags simultaneously in flight from one sender in
-/// steady state (one exchange phase + one collective round).
-const SLOTS_PER_SRC: usize = 8;
-
-/// Maps a tag to its direct slot. Tag blocks differ in bits ≥ 16, rounds
-/// within a block in the low bits; folding 16-bit halves before the
-/// multiply spreads both.
-fn slot_of(tag: Tag) -> usize {
-    (((tag ^ (tag >> 16)).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 61) as usize // lint:cast-ok: 3-bit slot index, always < SLOTS_PER_SRC
-}
-
-/// Debug-build ceiling on simultaneously live tags from one sender (see
-/// [`SrcState::push`]). Generously above the steady-state bound of a few
-/// in-flight exchange phases plus collective rounds.
-const OVERFLOW_SOFT_CAP: usize = 128;
-
-/// FIFO of messages for one `(src, tag)` pair. `tag` is only meaningful
-/// while `fifo` is non-empty: an emptied queue is claimable by any tag and
-/// keeps its ring-buffer allocation, so steady-state traffic reuses it.
-#[derive(Default)]
-struct TagQueue {
-    tag: Tag,
-    fifo: VecDeque<Payload>,
-}
-
-/// All pending messages from one sender, bucketed by tag.
-///
-/// Invariant: at most one *non-empty* [`TagQueue`] exists per tag (matching
-/// queues are always preferred over claiming empty ones), so FIFO order per
-/// `(src, tag)` is the order within that single queue.
-#[derive(Default)]
-struct SrcState {
-    slots: [TagQueue; SLOTS_PER_SRC],
-    overflow: Vec<TagQueue>,
-}
-
-impl SrcState {
-    /// Appends `payload` to the queue for `tag`, claiming or creating a
-    /// queue if none is active.
-    fn push(&mut self, tag: Tag, payload: Payload) {
-        let s = slot_of(tag);
-        if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
-            self.slots[s].fifo.push_back(payload);
-            return;
-        }
-        if let Some(q) = self
-            .overflow
-            .iter_mut()
-            .find(|q| !q.fifo.is_empty() && q.tag == tag)
-        {
-            q.fifo.push_back(payload);
-            return;
-        }
-        if self.slots[s].fifo.is_empty() {
-            self.slots[s].tag = tag;
-            self.slots[s].fifo.push_back(payload);
-            return;
-        }
-        if let Some(q) = self.overflow.iter_mut().find(|q| q.fifo.is_empty()) {
-            q.tag = tag;
-            q.fifo.push_back(payload);
-            return;
-        }
-        // The overflow list only grows while more tags are simultaneously
-        // live from one sender than SLOTS_PER_SRC; in steady state emptied
-        // queues are reclaimed. Unbounded growth means a protocol leak
-        // (tags sent but never received) — catch it loudly in debug builds
-        // instead of silently accumulating queues.
-        debug_assert!(
-            self.overflow.len() < OVERFLOW_SOFT_CAP,
-            "mailbox overflow list grew past {OVERFLOW_SOFT_CAP} live tags from one \
-             sender; a tag is probably sent but never received (leaked tag block)"
-        );
-        self.overflow.push(TagQueue {
-            tag,
-            fifo: VecDeque::from([payload]),
-        });
-    }
-
-    /// The active (non-empty) queue for `tag`, if any.
-    fn queue_mut(&mut self, tag: Tag) -> Option<&mut VecDeque<Payload>> {
-        let s = slot_of(tag);
-        if !self.slots[s].fifo.is_empty() && self.slots[s].tag == tag {
-            return Some(&mut self.slots[s].fifo);
-        }
-        self.overflow
-            .iter_mut()
-            .find(|q| !q.fifo.is_empty() && q.tag == tag)
-            .map(|q| &mut q.fifo)
-    }
-
-    /// Removes and returns the oldest message for `tag`.
-    fn take(&mut self, tag: Tag) -> Option<Payload> {
-        self.queue_mut(tag).and_then(VecDeque::pop_front)
-    }
-}
-
-/// One PE's incoming-message state: per-sender tag buckets under a single
-/// mutex, plus the condvar its owner thread parks on (see the
-/// single-consumer invariant in the module docs).
-struct Mailbox {
-    inner: Mutex<MailboxInner>,
-    signal: Condvar,
-}
-
-struct MailboxInner {
-    by_src: Vec<SrcState>,
-}
-
-/// The shared state of a PE group.
+/// The shared state of a thread-backend PE group: the per-PE mailboxes,
+/// the group-wide poison state, and the message counters. (The socket
+/// backend has no shared state by design — its poison propagates through
+/// control frames — so this type is thread-backend-only; [`Comm`]s of
+/// either backend are otherwise indistinguishable.)
 pub struct Universe {
     mailboxes: Vec<Mailbox>,
     /// Total number of point-to-point messages sent (for tests/benches that
@@ -433,14 +277,7 @@ impl Universe {
             o.rebase_epoch();
         }
         Arc::new(Self {
-            mailboxes: (0..size)
-                .map(|_| Mailbox {
-                    inner: Mutex::new(MailboxInner {
-                        by_src: (0..size).map(|_| SrcState::default()).collect(),
-                    }),
-                    signal: Condvar::new(),
-                })
-                .collect(),
+            mailboxes: (0..size).map(|_| Mailbox::new(size)).collect(),
             messages_sent: AtomicU64::new(0),
             elements_sent: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
@@ -460,14 +297,29 @@ impl Universe {
             .obs
             .as_ref()
             .map_or_else(Recorder::disabled, |o| o.recorder(rank));
-        Comm {
-            universe: Arc::clone(self),
+        Comm::from_parts(
+            Arc::new(ThreadTransport::new(Arc::clone(self), rank)),
+            Some(Arc::clone(self)),
             rank,
-            seq: AtomicU64::new(0),
-            send_seq: AtomicU64::new(0),
-            limbo: Mutex::new(Vec::new()),
+            self.deadline,
+            self.hook.clone(),
             recorder,
-        }
+            self.threads_per_pe,
+        )
+    }
+
+    /// PE `rank`'s mailbox (the thread transport's delivery target; the
+    /// socket transport reuses the same structure for its local inbox).
+    pub(crate) fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    /// Accounts one sent message carrying `elements` payload elements.
+    pub(crate) fn count_message(&self, elements: u64) {
+        // Statistics counters: message visibility itself is ordered by the
+        // mailbox mutex, not by these counters.
+        self.messages_sent.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: stats only
+        self.elements_sent.fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
     }
 
     /// Number of PEs in the group.
@@ -511,7 +363,7 @@ impl Universe {
             }
         }
         for mb in &self.mailboxes {
-            mb.signal.notify_all();
+            mb.notify_all();
         }
     }
 
@@ -561,10 +413,26 @@ struct LimboQueue {
     msgs: VecDeque<Payload>,
 }
 
-/// A per-PE communicator: rank, group size, and the message endpoints.
+/// A per-PE communicator: rank, group size, and the message endpoint.
+/// Everything here is backend-neutral; the [`Transport`] it wraps decides
+/// whether payloads move as pointers or as socket frames.
 pub struct Comm {
-    universe: Arc<Universe>,
+    transport: Arc<dyn Transport>,
+    /// The shared thread-backend state; `None` on socket backends (which
+    /// have no shared state by design). Only the thread-only statistics
+    /// accessor [`Comm::universe`] needs it.
+    universe: Option<Arc<Universe>>,
     rank: usize,
+    /// Watchdog deadline for blocking receives (copied from the group
+    /// configuration at construction).
+    deadline: Option<Duration>,
+    /// Fault-injection oracle (copied from the group configuration).
+    hook: Option<Arc<dyn FaultHook>>,
+    /// Intra-PE worker-thread budget (copied from the group configuration).
+    threads_per_pe: usize,
+    /// Cached [`Transport::encoded`]: one branch picks typed-pointer or
+    /// wire-encoded packing per send.
+    encoded: bool,
     /// Sequence number for collective operations (same on all PEs because
     /// collectives are called SPMD-style in the same order everywhere).
     seq: AtomicU64,
@@ -574,7 +442,7 @@ pub struct Comm {
     /// Uncontended: only this PE's thread touches it; the lock exists so
     /// `Comm` stays `Sync` for the scoped-thread runner.
     limbo: Mutex<Vec<LimboQueue>>,
-    /// This PE's observation handle (disabled unless the universe carries
+    /// This PE's observation handle (disabled unless the group carries
     /// an `Obs` registry).
     recorder: Recorder,
 }
@@ -582,10 +450,10 @@ pub struct Comm {
 impl Drop for Comm {
     /// A PE that exits cleanly must not strand delayed sends — its peers
     /// may still be parked on them. Dead PEs (panicking, or in a poisoned
-    /// universe) keep their limbo: their messages are lost, like a crashed
+    /// group) keep their limbo: their messages are lost, like a crashed
     /// MPI rank's send buffers.
     fn drop(&mut self) {
-        if self.universe.hook.is_none() || std::thread::panicking() || self.universe.is_poisoned() {
+        if self.hook.is_none() || std::thread::panicking() || self.transport.is_poisoned() {
             return;
         }
         self.flush_limbo();
@@ -599,6 +467,33 @@ impl Drop for Comm {
 pub use crate::tags::COLLECTIVE_TAG_BASE;
 
 impl Comm {
+    /// Assembles a communicator from its backend parts (crate-internal:
+    /// called by [`Universe::comm`] and the socket groups).
+    pub(crate) fn from_parts(
+        transport: Arc<dyn Transport>,
+        universe: Option<Arc<Universe>>,
+        rank: usize,
+        deadline: Option<Duration>,
+        hook: Option<Arc<dyn FaultHook>>,
+        recorder: Recorder,
+        threads_per_pe: usize,
+    ) -> Self {
+        let encoded = transport.encoded();
+        Comm {
+            transport,
+            universe,
+            rank,
+            deadline,
+            hook,
+            threads_per_pe: threads_per_pe.max(1),
+            encoded,
+            seq: AtomicU64::new(0),
+            send_seq: AtomicU64::new(0),
+            limbo: Mutex::new(Vec::new()),
+            recorder,
+        }
+    }
+
     /// This PE's rank in `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -608,16 +503,22 @@ impl Comm {
     /// Number of PEs.
     #[inline]
     pub fn size(&self) -> usize {
-        self.universe.mailboxes.len()
+        self.transport.size()
     }
 
     /// The shared universe (for message statistics).
+    ///
+    /// # Panics
+    /// Panics on the socket backend, which has no shared state — use
+    /// `pgp-obs` reports for cross-backend statistics.
     pub fn universe(&self) -> &Arc<Universe> {
-        &self.universe
+        self.universe
+            .as_ref()
+            .expect("Comm::universe() is only available on the thread backend")
     }
 
     /// This PE's observation recorder. Disabled (every hook one branch)
-    /// unless the universe was built with an [`Obs`] registry.
+    /// unless the group was built with an [`Obs`] registry.
     #[inline]
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -629,47 +530,34 @@ impl Comm {
     /// scoped worker threads between communication steps.
     #[inline]
     pub fn threads_per_pe(&self) -> usize {
-        self.universe.threads_per_pe
+        self.threads_per_pe
     }
 
     /// Sends `msg` to PE `dst` with `tag`. Never blocks.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, msg: T) {
+    pub fn send<T: Wire>(&self, dst: usize, tag: Tag, msg: T) {
         self.send_counted(dst, tag, msg, 1);
     }
 
     /// Like [`Comm::send`], but records `elements` payload elements in the
-    /// universe statistics (used by the benchmarks to track volume).
-    pub fn send_counted<T: Send + 'static>(&self, dst: usize, tag: Tag, msg: T, elements: u64) {
+    /// group statistics (used by the benchmarks to track volume).
+    pub fn send_counted<T: Wire>(&self, dst: usize, tag: Tag, msg: T, elements: u64) {
         self.check_poison();
         // Count *before* delivering: once a receiver has observed the
         // message, the statistics must already include it.
-        // Statistics counters: message visibility itself is ordered by the
-        // mailbox mutex, not by these counters.
-        self.universe.messages_sent.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: stats only
-        self.universe
-            .elements_sent
-            .fetch_add(elements, Ordering::Relaxed); // lint:relaxed-ok: stats only
-        let payload = pack(msg);
+        self.transport.count_message(elements);
+        let payload = if self.encoded {
+            pack_encoded(&msg)
+        } else {
+            pack(msg)
+        };
         if self.recorder.is_enabled() {
             self.recorder.on_send(dst, tag, payload.wire_bytes());
         }
-        if let Some(hook) = self.universe.hook.clone() {
+        if let Some(hook) = self.hook.clone() {
             self.chaos_send(&*hook, dst, tag, payload);
         } else {
-            self.deliver(dst, tag, payload);
+            self.transport.deliver(dst, tag, payload);
         }
-    }
-
-    /// Enqueues `payload` in `dst`'s mailbox and wakes its owner.
-    fn deliver(&self, dst: usize, tag: Tag, payload: Payload) {
-        let mb = &self.universe.mailboxes[dst];
-        {
-            let mut inner = mb.inner.lock();
-            inner.by_src[self.rank].push(tag, payload);
-        }
-        // Single-consumer invariant (module docs): only `dst`'s own thread
-        // waits on this condvar, so one targeted wakeup suffices.
-        mb.signal.notify_one();
     }
 
     /// The fault-injected send path: consults the hook, parks delayed
@@ -688,7 +576,7 @@ impl Comm {
             if limbo[i].holds == 0 {
                 let q = limbo.swap_remove(i);
                 for p in q.msgs {
-                    self.deliver(q.dst, q.tag, p);
+                    self.transport.deliver(q.dst, q.tag, p);
                 }
             } else {
                 i += 1;
@@ -701,7 +589,7 @@ impl Comm {
             q.msgs.push_back(payload);
         } else {
             match hook.on_send(self.rank, dst, tag, seq) {
-                SendFault::Deliver => self.deliver(dst, tag, payload),
+                SendFault::Deliver => self.transport.deliver(dst, tag, payload),
                 SendFault::Drop => {
                     // Drops are accounted per tag by the recorder (the
                     // conservation tests subtract them); the payload is
@@ -723,7 +611,7 @@ impl Comm {
                     self.recorder
                         .on_fault_stall(dst, tag, micros.saturating_mul(1_000));
                     std::thread::sleep(Duration::from_micros(micros));
-                    self.deliver(dst, tag, payload);
+                    self.transport.deliver(dst, tag, payload);
                 }
             }
         }
@@ -737,7 +625,7 @@ impl Comm {
         let mut limbo = self.limbo.lock();
         for q in limbo.drain(..) {
             for p in q.msgs {
-                self.deliver(q.dst, q.tag, p);
+                self.transport.deliver(q.dst, q.tag, p);
             }
         }
     }
@@ -746,17 +634,17 @@ impl Comm {
     /// branch) on the fault-free path; called at every receive entry.
     #[inline]
     fn pre_block(&self) {
-        if self.universe.hook.is_some() {
+        if self.hook.is_some() {
             self.flush_limbo();
         }
     }
 
-    /// Unwinds with the poison error if the universe is poisoned. The
+    /// Unwinds with the poison error if the group is poisoned. The
     /// sentinel payload is recognized by the runner, which converts it into
     /// a structured `Err` (or re-raises the originating panic).
     #[inline]
     fn check_poison(&self) {
-        if let Some(err) = self.universe.poison_error() {
+        if let Some(err) = self.transport.poison_error() {
             let err = self.localize(err);
             std::panic::panic_any(CommAbort(err));
         }
@@ -775,28 +663,36 @@ impl Comm {
         }
     }
 
+    /// Records one received payload and unpacks it.
+    fn finish_recv<T: Wire>(&self, src: usize, tag: Tag, payload: Payload) -> T {
+        if self.recorder.is_enabled() {
+            self.recorder.on_recv(src, tag, payload.wire_bytes());
+        }
+        unpack(payload, src, tag)
+    }
+
     /// Blocking selective receive: waits for a message from `src` with
     /// `tag` and returns its payload.
     ///
-    /// If the universe has a watchdog deadline and it expires, or the
-    /// universe is poisoned while parked, this unwinds with the comm-abort
+    /// If the group has a watchdog deadline and it expires, or the
+    /// group is poisoned while parked, this unwinds with the comm-abort
     /// sentinel (the runner surfaces it as `Err(CommError)`).
     ///
     /// # Panics
     /// Panics if the received payload has a different type than `T` —
     /// that is a protocol bug, not a runtime condition.
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
-        match self.recv_inner(src, tag, self.universe.deadline) {
+    pub fn recv<T: Wire>(&self, src: usize, tag: Tag) -> T {
+        match self.recv_inner(src, tag, self.deadline) {
             Ok(msg) => msg,
             Err(err) => std::panic::panic_any(CommAbort(self.localize(err))),
         }
     }
 
     /// As [`Comm::recv`], with an explicit per-receive `deadline` that
-    /// overrides the universe watchdog deadline. On expiry the universe is
-    /// poisoned (the group is wedged — a lone timeout cannot be recovered
+    /// overrides the group watchdog deadline. On expiry the group is
+    /// poisoned (it is wedged — a lone timeout cannot be recovered
     /// locally) and `CommError::Timeout` is returned to *this* caller.
-    pub fn recv_deadline<T: Send + 'static>(
+    pub fn recv_deadline<T: Wire>(
         &self,
         src: usize,
         tag: Tag,
@@ -806,118 +702,82 @@ impl Comm {
     }
 
     /// The shared blocking-receive core: flushes this PE's limbo (it is
-    /// about to park and can produce no further send events), then waits —
-    /// bounded by `deadline` when one is set — re-checking poison on every
-    /// wakeup. A deadline expiry poisons the universe so the whole group
-    /// fails structurally, not just this PE.
-    fn recv_inner<T: Send + 'static>(
+    /// about to park and can produce no further send events), then parks in
+    /// the transport — bounded by `deadline` when one is set. A deadline
+    /// expiry poisons the group so the whole run fails structurally, not
+    /// just this PE. An available message wins over poison (the transports
+    /// guarantee it), so already-delivered traffic stays receivable during
+    /// an unwind.
+    fn recv_inner<T: Wire>(
         &self,
         src: usize,
         tag: Tag,
         deadline: Option<Duration>,
     ) -> Result<T, CommError> {
         self.pre_block();
-        let mb = &self.universe.mailboxes[self.rank];
-        let start = deadline.map(|_| Instant::now()); // lint:instant-ok: watchdog deadline
-        let mut wait_tok = None;
-        let mut inner = mb.inner.lock();
-        loop {
-            if let Some(payload) = inner.by_src[src].take(tag) {
-                drop(inner);
+        // Fast path: already queued — no wait accounting.
+        if let Some(payload) = self.transport.try_take(src, tag) {
+            return Ok(self.finish_recv(src, tag, payload));
+        }
+        let wait_tok = self.recorder.start_wait(Some(src), tag);
+        match self.transport.recv_blocking(Some(src), tag, deadline) {
+            RecvOutcome::Msg(from, payload) => {
                 self.recorder.end_wait(wait_tok);
-                if self.recorder.is_enabled() {
-                    self.recorder.on_recv(src, tag, payload.wire_bytes());
-                }
-                return Ok(unpack(payload, src, tag));
+                Ok(self.finish_recv(from, tag, payload))
             }
-            if let Some(err) = self.universe.poison_error() {
-                return Err(self.localize(err));
-            }
-            if wait_tok.is_none() {
-                wait_tok = self.recorder.start_wait(Some(src), tag);
-            }
-            match (deadline, start) {
-                (Some(limit), Some(t0)) => {
-                    let elapsed = t0.elapsed();
-                    if elapsed >= limit {
-                        let err = CommError::Timeout {
-                            rank: self.rank,
-                            src,
-                            tag,
-                        };
-                        // Poison first, then return: peers parked on us
-                        // must unwind too, or the join loop would hang on
-                        // them even though we failed cleanly.
-                        self.universe.poison(err.clone());
-                        return Err(err);
-                    }
-                    mb.signal.wait_for(&mut inner, limit - elapsed);
-                }
-                _ => mb.signal.wait(&mut inner),
+            RecvOutcome::Poisoned(err) => Err(self.localize(err)),
+            RecvOutcome::TimedOut => {
+                let err = CommError::Timeout {
+                    rank: self.rank,
+                    src,
+                    tag,
+                };
+                // Poison first, then return: peers parked on us must
+                // unwind too, or the join loop would hang on them even
+                // though we failed cleanly.
+                self.transport.poison(err.clone());
+                Err(err)
             }
         }
     }
 
     /// Non-blocking selective receive.
-    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Option<T> {
+    pub fn try_recv<T: Wire>(&self, src: usize, tag: Tag) -> Option<T> {
         self.check_poison();
-        let mb = &self.universe.mailboxes[self.rank];
-        let mut inner = mb.inner.lock();
-        let payload = inner.by_src[src].take(tag)?;
-        drop(inner);
-        if self.recorder.is_enabled() {
-            self.recorder.on_recv(src, tag, payload.wire_bytes());
-        }
-        Some(unpack(payload, src, tag))
+        let payload = self.transport.try_take(src, tag)?;
+        Some(self.finish_recv(src, tag, payload))
     }
 
     /// Blocking receive from *any* source with `tag`; returns `(src, msg)`.
     /// Sources are scanned in rank order, which is as deterministic as the
     /// arrival interleaving allows (only the randomized rumor-spreading
     /// protocol receives this way).
-    pub fn recv_any<T: Send + 'static>(&self, tag: Tag) -> (usize, T) {
+    pub fn recv_any<T: Wire>(&self, tag: Tag) -> (usize, T) {
         self.pre_block();
-        let mb = &self.universe.mailboxes[self.rank];
-        let deadline = self.universe.deadline;
-        let start = deadline.map(|_| Instant::now()); // lint:instant-ok: watchdog deadline
-        let mut wait_tok = None;
-        let mut inner = mb.inner.lock();
-        loop {
-            let size = inner.by_src.len();
-            for src in 0..size {
-                if let Some(payload) = inner.by_src[src].take(tag) {
-                    drop(inner);
-                    self.recorder.end_wait(wait_tok);
-                    if self.recorder.is_enabled() {
-                        self.recorder.on_recv(src, tag, payload.wire_bytes());
-                    }
-                    return (src, unpack(payload, src, tag));
-                }
+        // Fast path: a message is already queued from some source.
+        for src in 0..self.transport.size() {
+            if let Some(payload) = self.transport.try_take(src, tag) {
+                return (src, self.finish_recv(src, tag, payload));
             }
-            if let Some(err) = self.universe.poison_error() {
-                std::panic::panic_any(CommAbort(self.localize(err)));
+        }
+        // No single awaited source — wait attribution stays unassigned.
+        let wait_tok = self.recorder.start_wait(None, tag);
+        match self.transport.recv_blocking(None, tag, self.deadline) {
+            RecvOutcome::Msg(src, payload) => {
+                self.recorder.end_wait(wait_tok);
+                (src, self.finish_recv(src, tag, payload))
             }
-            if wait_tok.is_none() {
-                // No single awaited source — attribution stays unassigned.
-                wait_tok = self.recorder.start_wait(None, tag);
-            }
-            match (deadline, start) {
-                (Some(limit), Some(t0)) => {
-                    let elapsed = t0.elapsed();
-                    if elapsed >= limit {
-                        let err = CommError::Timeout {
-                            rank: self.rank,
-                            // `recv_any` has no single awaited source; report
-                            // ourselves as the park coordinate.
-                            src: self.rank,
-                            tag,
-                        };
-                        self.universe.poison(err.clone());
-                        std::panic::panic_any(CommAbort(err));
-                    }
-                    mb.signal.wait_for(&mut inner, limit - elapsed);
-                }
-                _ => mb.signal.wait(&mut inner),
+            RecvOutcome::Poisoned(err) => std::panic::panic_any(CommAbort(self.localize(err))),
+            RecvOutcome::TimedOut => {
+                let err = CommError::Timeout {
+                    rank: self.rank,
+                    // `recv_any` has no single awaited source; report
+                    // ourselves as the park coordinate.
+                    src: self.rank,
+                    tag,
+                };
+                self.transport.poison(err.clone());
+                std::panic::panic_any(CommAbort(err));
             }
         }
     }
@@ -925,22 +785,10 @@ impl Comm {
     /// Drains all currently queued messages with `tag` (any source) without
     /// blocking — used by the rumor-spreading protocol, which is fire-and-
     /// forget. Results are grouped by source rank, FIFO within a source.
-    pub fn drain<T: Send + 'static>(&self, tag: Tag) -> Vec<(usize, T)> {
+    pub fn drain<T: Wire>(&self, tag: Tag) -> Vec<(usize, T)> {
         self.check_poison();
         self.pre_block();
-        let mb = &self.universe.mailboxes[self.rank];
-        let mut raw: Vec<(usize, Payload)> = Vec::new();
-        {
-            let mut inner = mb.inner.lock();
-            let size = inner.by_src.len();
-            for src in 0..size {
-                if let Some(q) = inner.by_src[src].queue_mut(tag) {
-                    while let Some(payload) = q.pop_front() {
-                        raw.push((src, payload));
-                    }
-                }
-            }
-        }
+        let raw = self.transport.drain_tag(tag);
         if self.recorder.is_enabled() {
             for (src, payload) in &raw {
                 self.recorder.on_recv(*src, tag, payload.wire_bytes());
@@ -963,13 +811,13 @@ impl Comm {
         // `seq` is per-Comm and each Comm is owned by one PE thread, so
         // there is no cross-thread ordering to establish.
         let s = self.seq.fetch_add(1, Ordering::Relaxed); // lint:relaxed-ok: single-owner counter
-        if let Some(hook) = &self.universe.hook {
+        if let Some(hook) = &self.hook {
             if hook.kill_at_phase(self.rank) == Some(s) {
                 let err = CommError::PeerDead {
                     rank: self.rank,
                     dead: self.rank,
                 };
-                self.universe.poison(err.clone());
+                self.transport.poison(err.clone());
                 std::panic::panic_any(CommAbort(err));
             }
         }
@@ -1145,10 +993,27 @@ mod tests {
     }
 
     #[test]
+    fn comm_error_wire_roundtrip() {
+        use crate::comm::CommError;
+        use crate::wire::Wire;
+        for err in [
+            CommError::Timeout {
+                rank: 3,
+                src: 1,
+                tag: (1 << 48) + 7,
+            },
+            CommError::PeerDead { rank: 0, dead: 2 },
+        ] {
+            let bytes = err.encode_to_vec();
+            assert_eq!(CommError::decode_all(&bytes), Ok(err));
+        }
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "leaked tag block")]
     fn overflow_growth_past_soft_cap_is_caught() {
-        use super::OVERFLOW_SOFT_CAP;
+        use crate::transport::thread::OVERFLOW_SOFT_CAP;
         run(2, |comm| {
             if comm.rank() == 0 {
                 // More simultaneously live tags than slots + soft cap, none
@@ -1169,6 +1034,7 @@ mod tests {
 mod chaos_tests {
     use super::*;
     use crate::runner::{run_config, RunConfig};
+    use std::time::Instant;
 
     /// Delays every `n`-th send event by `holds` send events.
     struct DelayEveryNth {
@@ -1314,7 +1180,7 @@ mod chaos_tests {
             fault_hook: Some(Arc::new(KillAt { rank: 1, phase: 0 })),
             ..RunConfig::default()
         };
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:instant-ok: test wall-clock bound
         let results = run_config(2, cfg, |comm| {
             if comm.rank() == 0 {
                 comm.recv::<u64>(1, 3)

@@ -17,6 +17,10 @@
 //! * [`exchange`] — the phase-overlapped ghost-label exchange of §IV-A.
 //! * [`tags`] — the tag-protocol constants (every named tag offset and its
 //!   payload type; the ground truth for `cargo xtask analyze`).
+//! * [`transport`] — the pluggable comm backends (DESIGN.md §15): thread
+//!   mailboxes, Unix-domain socket frames, and the multi-process mode.
+//! * [`wire`] — the byte codec every message payload implements so it can
+//!   cross a socket ([`Wire`]).
 
 pub mod collectives;
 pub mod comm;
@@ -24,10 +28,18 @@ pub mod dgraph;
 pub mod exchange;
 pub mod runner;
 pub mod tags;
+pub mod transport;
+pub mod wire;
 
 pub use comm::{Comm, CommError, FaultHook, SendFault, Tag, Universe};
 pub use dgraph::DistGraph;
 pub use exchange::LabelExchange;
+pub use transport::process::{
+    maybe_run_worker, run_multiprocess, run_multiprocess_supervised, ProcessConfig,
+    ProcessSupervisor, WorkerCtx, WorkerFn,
+};
+pub use transport::BackendKind;
+pub use wire::{Wire, WireError, WireReader};
 // Re-exported so `RunConfig { obs, .. }` can be built without a direct
 // pgp-obs dependency.
 pub use pgp_obs::{Obs, Recorder, RecoveryReport, RunTrace};

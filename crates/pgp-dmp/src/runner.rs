@@ -9,6 +9,7 @@
 //! surfaces as `Err(CommError)` per PE instead of a crash.
 
 use crate::comm::{Comm, CommAbort, CommError, FaultHook, Tag, Universe};
+use crate::transport::{BackendKind, Group};
 use pgp_obs::{Obs, RecoveryReport};
 use std::any::Any;
 use std::sync::Arc;
@@ -18,6 +19,12 @@ use std::time::Duration;
 /// substrate into a chaos-hardened one.
 #[derive(Default, Clone)]
 pub struct RunConfig {
+    /// Which comm transport carries the messages (DESIGN.md §15). The
+    /// default, [`BackendKind::Threads`], is the zero-regression fast
+    /// path; [`BackendKind::Sockets`] routes every payload through real
+    /// Unix-domain socketpairs. Algorithms cannot observe the choice —
+    /// the cross-backend golden tests assert identical partitions.
+    pub backend: BackendKind,
     /// Deadlock-watchdog deadline applied to every blocking receive. The
     /// first PE whose wait exceeds it poisons the universe with
     /// [`CommError::Timeout`] and the whole group fails structurally.
@@ -45,21 +52,21 @@ enum PeOutcome<R> {
     Panicked(Box<dyn Any + Send>),
 }
 
-/// The shared runner core: spawns one thread per PE over `universe`, joins
-/// them all, converts comm-abort sentinels into `Err`, and re-raises the
-/// first genuine panic (in rank order) after every thread has exited.
-fn run_universe<R, F>(universe: Arc<Universe>, f: F) -> Vec<Result<R, CommError>>
+/// The shared runner core: spawns one thread per PE over `group` (either
+/// backend), joins them all, converts comm-abort sentinels into `Err`, and
+/// re-raises the first genuine panic (in rank order) after every thread has
+/// exited.
+fn run_group<R, F>(group: &Group, f: F) -> Vec<Result<R, CommError>>
 where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    let p = universe.size();
+    let p = group.size();
     let outcomes: Vec<PeOutcome<R>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for rank in 0..p {
-            let comm = universe.comm(rank);
+            let comm = group.comm(rank);
             let f = &f;
-            let u = Arc::clone(&universe);
             handles.push(scope.spawn(move || {
                 // The closure only crosses the unwind boundary to be
                 // re-raised (or mapped to an error) on the joining side, so
@@ -72,7 +79,7 @@ where
                             // Genuine panic: poison so peers parked in
                             // recv/collectives unwind instead of waiting
                             // for a message that will never come.
-                            u.poison(CommError::PeerDead { rank, dead: rank });
+                            group.poison(rank, CommError::PeerDead { rank, dead: rank });
                             PeOutcome::Panicked(payload)
                         }
                     },
@@ -130,7 +137,7 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    run_universe(Universe::new(p), f)
+    run_group(&Group::Threads(Universe::new(p)), f)
         .into_iter()
         .map(|r| r.unwrap_or_else(|err| panic!("PE failed: {err}")))
         .collect()
@@ -146,10 +153,15 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    run_universe(
-        Universe::with_config_threads(p, cfg.deadline, cfg.fault_hook, cfg.obs, cfg.threads_per_pe),
-        f,
-    )
+    let group = Group::build(
+        p,
+        cfg.backend,
+        cfg.deadline,
+        cfg.fault_hook,
+        cfg.obs,
+        cfg.threads_per_pe,
+    );
+    run_group(&group, f)
 }
 
 /// The survivors' verdict about one failed attempt, derived from the
@@ -345,9 +357,15 @@ where
             recoveries: u32::try_from(report.recoveries).unwrap_or(u32::MAX),
             dead_ranks: dead_all.clone(),
         };
-        let universe =
-            Universe::with_config_threads(p, deadline, hook, base.obs.clone(), base.threads_per_pe);
-        let results = run_universe(Arc::clone(&universe), |comm| f(comm, &info));
+        let group = Group::build(
+            p,
+            base.backend,
+            deadline,
+            hook,
+            base.obs.clone(),
+            base.threads_per_pe,
+        );
+        let results = run_group(&group, |comm| f(comm, &info));
         if results.iter().all(Result::is_ok) {
             publish(&report);
             let values = results
@@ -359,7 +377,7 @@ where
         // Failure consensus: the poison handshake already showed every
         // survivor the same fault state; the post-join ledger makes the
         // verdict exact even under concurrent multi-rank failures.
-        let ledger = universe.fault_ledger();
+        let ledger = group.fault_ledger();
         let verdict = {
             // No PE threads are alive between attempts, so rank 0's cell
             // is free for the supervisor's own recovery spans.

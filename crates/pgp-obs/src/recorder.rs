@@ -56,6 +56,9 @@ pub struct Obs {
     /// universe launches (no PE threads alive) and between the final
     /// join and [`Obs::report`]. All-zero for unsupervised runs.
     recovery: Mutex<RecoveryReport>,
+    /// Comm-backend name ("threads" unless a group build overrides it),
+    /// surfaced in the report so run artifacts record which transport ran.
+    backend: Mutex<&'static str>,
 }
 
 /// All observations of one PE. Single-writer by the owning thread.
@@ -153,7 +156,14 @@ impl Obs {
             epoch_offset_ns: AtomicU64::new(0),
             traced: trace_capacity.is_some(),
             recovery: Mutex::new(RecoveryReport::default()),
+            backend: Mutex::new("threads"),
         })
+    }
+
+    /// Records which comm backend drives this run ("threads", "sockets").
+    /// The group build calls this once before any PE spawns.
+    pub fn set_backend(&self, name: &'static str) {
+        *self.backend.lock() = name;
     }
 
     /// Number of PEs this registry observes.
@@ -230,6 +240,7 @@ impl Obs {
         RunReport {
             schema_version: SCHEMA_VERSION,
             p: self.cells.len(),
+            backend: (*self.backend.lock()).to_string(),
             per_pe,
             aggregate,
             recovery: self.recovery.lock().clone(),

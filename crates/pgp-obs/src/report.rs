@@ -24,7 +24,11 @@ use crate::recorder::PeState;
 /// transient retries, full recoveries, dead ranks, lost V-cycles) from
 /// the automatic-recovery layer (DESIGN.md §14). All-zero for
 /// unsupervised runs.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: top-level `backend` string naming the comm transport that carried
+/// the run ("threads" or "sockets", DESIGN.md §15). Cross-backend golden
+/// tests compare reports after normalizing this one field.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A complete observed run: per-PE detail plus cross-PE aggregates.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +37,10 @@ pub struct RunReport {
     pub schema_version: u32,
     /// Number of PEs in the run.
     pub p: usize,
+    /// Name of the comm transport that carried the run ("threads",
+    /// "sockets"). The only report field allowed to differ between the
+    /// backends of a cross-backend golden comparison.
+    pub backend: String,
     /// Per-PE reports, rank ascending.
     pub per_pe: Vec<PeReport>,
     /// Cross-PE aggregates.
@@ -372,6 +380,7 @@ impl RunReport {
         o.push_str("{\n");
         o.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         o.push_str(&format!("  \"p\": {},\n", self.p));
+        o.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
         o.push_str("  \"per_pe\": [");
         for (i, pe) in self.per_pe.iter().enumerate() {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -402,6 +411,11 @@ impl RunReport {
             ));
         }
         let p = v.get("p").and_then(JsonValue::as_u64).ok_or("missing p")?;
+        let backend = v
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing backend")?
+            .to_string();
         let per_pe_json = v
             .get("per_pe")
             .and_then(JsonValue::as_arr)
@@ -457,6 +471,7 @@ impl RunReport {
         Ok(RunReport {
             schema_version: sv32,
             p: usize::try_from(p).map_err(|_| "p out of range")?,
+            backend,
             per_pe,
             aggregate,
             recovery,
@@ -539,6 +554,7 @@ impl RunReport {
         let sample = RunReport {
             schema_version: SCHEMA_VERSION,
             p: 1,
+            backend: "threads".to_string(),
             aggregate: Aggregate::from_per_pe(&per_pe),
             per_pe,
             recovery: RecoveryReport {
@@ -991,7 +1007,7 @@ mod tests {
         let report = sample_report();
         let json = report.to_json(true);
         assert!(!json.contains("total_s\": 0."), "timings must be zeroed");
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"final_cut\": 42"));
         assert!(
             json.contains("\"imbalance\": 0.03"),
@@ -1019,7 +1035,7 @@ mod tests {
         let report = sample_report();
         let json = report
             .to_json(true)
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = RunReport::from_json(&json).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }
@@ -1090,6 +1106,7 @@ mod tests {
             "aggregate.recv_wait_p95_s",
             "aggregate.recv_wait_p99_s",
             "aggregate.recv_wait_s",
+            "backend",
             "p",
             "per_pe",
             "per_pe[].comm",
@@ -1144,7 +1161,7 @@ mod tests {
             "recovery.retries",
             "schema_version",
         ];
-        assert_eq!(SCHEMA_VERSION, 3, "bumped version: update the golden list");
+        assert_eq!(SCHEMA_VERSION, 4, "bumped version: update the golden list");
         assert_eq!(
             RunReport::schema_fingerprint(),
             expected,

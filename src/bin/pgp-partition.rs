@@ -4,9 +4,18 @@
 //! ```text
 //! pgp-partition <graph.metis> k=8 [preset=fast|eco|minimal] [p=4]
 //!               [eps=0.03] [seed=0] [class=auto|social|mesh]
-//!               [threads-per-pe=1] [output=<graph>.part.<k>]
+//!               [backend=threads|sockets] [threads-per-pe=1]
+//!               [output=<graph>.part.<k>]
 //!               [report=<file.json>] [trace=<file.json>]
 //! ```
+//!
+//! `backend=<b>` (or `--backend <b>`) selects the comm transport
+//! (DESIGN.md §15): `threads` (default) runs the PEs as OS threads over
+//! in-process mailboxes; `sockets` moves every message through
+//! length-prefixed frames on Unix-domain socketpairs. The partition is
+//! bit-identical either way (the cross-backend golden tests enforce it);
+//! `sockets` exists to exercise the real wire path and is the transport
+//! the multi-process runner uses.
 //!
 //! `threads-per-pe=<n>` (or `--threads-per-pe <n>`) gives every PE `n`
 //! worker threads for the hybrid SCLP (DESIGN.md §13). `1` is the classic
@@ -52,6 +61,7 @@ fn main() -> ExitCode {
     for flag in [
         "report",
         "trace",
+        "backend",
         "threads-per-pe",
         "max-retries",
         "checkpoint-every",
@@ -73,9 +83,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
              [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] \
-             [threads-per-pe=<n>] [output=<file>] [report=<file.json>] \
-             [trace=<file.json>] [--recover] [max-retries=<n>] \
-             [checkpoint-every=<n>]"
+             [backend=threads|sockets] [threads-per-pe=<n>] [output=<file>] \
+             [report=<file.json>] [trace=<file.json>] [--recover] \
+             [max-retries=<n>] [checkpoint-every=<n>]"
         );
         return ExitCode::from(2);
     };
@@ -134,6 +144,14 @@ fn main() -> ExitCode {
     let threads_per_pe: usize = arg(&args, "threads-per-pe")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let backend = match arg(&args, "backend").as_deref().map(str::parse) {
+        None => pgp::pgp_dmp::BackendKind::Threads,
+        Some(Ok(b)) => b,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let recover = arg(&args, "recover").is_some_and(|v| v != "0");
     let max_retries: u32 = arg(&args, "max-retries")
@@ -145,6 +163,7 @@ fn main() -> ExitCode {
 
     let mut cfg = ParhipConfig::preset(preset, k, class, seed);
     cfg.eps = eps;
+    cfg.backend = backend;
     cfg.threads_per_pe = threads_per_pe;
     cfg.checkpoint = CheckpointPolicy::every(checkpoint_every);
     let report_path = arg(&args, "report");
@@ -162,6 +181,7 @@ fn main() -> ExitCode {
             None
         };
         let run = pgp::pgp_dmp::RunConfig {
+            backend: cfg.backend,
             obs: obs.clone(),
             ..Default::default()
         };
