@@ -10,9 +10,11 @@
 //!    in-order ping stream. Reported as messages/sec.
 //!
 //!    1b. **obs** — the same ping stream under each recorder mode
-//!    (disabled / report / trace): the disabled mode must sit within
-//!    noise of the plain comm ping (single-branch hooks), and the other
-//!    two quantify the cost of turning recording on.
+//!    (disabled / report / trace / live): the disabled mode must sit
+//!    within noise of the plain comm ping (single-branch hooks), and the
+//!    others quantify the cost of turning recording on; `live` adds
+//!    snapshot publication with a polling telemetry monitor attached
+//!    (DESIGN.md §16).
 //! 2. **exchange** — `LabelExchange` phase throughput on an R-MAT graph:
 //!    every interface node records an update each phase. Reported as
 //!    updates/sec.
@@ -141,8 +143,9 @@ fn main() {
     // ---- 1b. obs A/B: the same ping stream under each recorder mode ----
     // The observability discipline promises a single-branch hot path when
     // recording is off; `obs.disabled` vs the plain ping above must sit
-    // within noise, and `obs.report`/`obs.trace` quantify the cost of
-    // turning recording on (counters + histograms, then + event rings).
+    // within noise, and `obs.report`/`obs.trace`/`obs.live` quantify the
+    // cost of turning recording on (counters + histograms, then + event
+    // rings, then + live snapshot publication under a polling monitor).
     let ping_obs = |obs: Option<std::sync::Arc<pgp_obs::Obs>>| -> f64 {
         let mut wall = f64::INFINITY;
         for _ in 0..reps {
@@ -177,6 +180,48 @@ fn main() {
         2,
         pgp_obs::DEFAULT_TRACE_CAPACITY,
     )));
+    // Live telemetry mode: recording on, live publication enabled, and an
+    // aggregating monitor polling the snapshot slots concurrently (stream
+    // discarded). The delta vs `obs.report` is the live plane's whole
+    // cost on the recording path; `obs.disabled` above stays the gate for
+    // the telemetry-off single-branch claim.
+    let obs_ping_live = {
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps {
+            let obs = pgp_obs::Obs::new(2);
+            obs.enable_live();
+            let monitor = pgp_obs::LiveMonitor::spawn(
+                obs.clone(),
+                pgp_obs::LiveMonitorConfig::default(),
+                Box::new(std::io::sink()),
+            )
+            .expect("spawn live monitor");
+            let rc = pgp_dmp::RunConfig {
+                obs: Some(obs),
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let results = pgp_dmp::run_config(2, rc, |comm| {
+                if comm.rank() == 0 {
+                    for i in 0..ping_rounds {
+                        comm.send(1, 7, vec![i]);
+                        let _: Vec<u64> = comm.recv(1, 9);
+                    }
+                } else {
+                    for _ in 0..ping_rounds {
+                        let v: Vec<u64> = comm.recv(0, 7);
+                        comm.send(0, 9, v);
+                    }
+                }
+            });
+            for r in results {
+                r.expect("fault-free ping cannot fail");
+            }
+            wall = wall.min(t0.elapsed().as_secs_f64());
+            monitor.finish().expect("live monitor stream");
+        }
+        (2 * ping_rounds) as f64 / wall
+    };
 
     // ---- shared R-MAT instance for exchange / sclp / end-to-end --------
     let g = pgp_gen::rmat::rmat_web(scale, 8, seed);
@@ -356,7 +401,8 @@ fn main() {
          \"backlog\": {backlog}, \"backlog_tags\": {backlog_tags}, \
          \"backlog_msgs\": {backlog_msgs} }},\n  \
          \"obs\": {{ \"ping_disabled_msgs_per_s\": {opd:.0}, \
-         \"ping_report_msgs_per_s\": {opr:.0}, \"ping_trace_msgs_per_s\": {opt:.0} }},\n  \
+         \"ping_report_msgs_per_s\": {opr:.0}, \"ping_trace_msgs_per_s\": {opt:.0}, \
+         \"ping_live_msgs_per_s\": {opl:.0} }},\n  \
          \"exchange\": {{ \"updates_per_s\": {exu:.0}, \"updates\": {exn}, \"phases\": {exp} }},\n  \
          \"sclp\": {{ \"cluster_round_s\": {cr:.6}, \"refine_round_s\": {rr:.6}, \
          \"cluster_round_t1_s\": {ct1:.6}, \"cluster_round_t2_s\": {ct2:.6}, \
@@ -372,6 +418,7 @@ fn main() {
         opd = obs_ping_disabled,
         opr = obs_ping_report,
         opt = obs_ping_trace,
+        opl = obs_ping_live,
         exu = exchange_updates_per_s,
         exn = exchange_updates,
         exp = exchange_phases,

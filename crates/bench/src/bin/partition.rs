@@ -11,7 +11,7 @@
 //!     [backend=threads] [threads_per_pe=1] \
 //!     [report=results/run_report.json] \
 //!     [trace=results/trace.json] [recover=1] [max_retries=3] \
-//!     [checkpoint_every=1]
+//!     [checkpoint_every=1] [telemetry=results/live.ndjson] [monitor=1]
 //! ```
 //!
 //! `backend=threads|sockets` (or `--backend <b>`) selects the comm
@@ -28,6 +28,12 @@
 //! supervisor (DESIGN.md §14) with V-cycle checkpoints every
 //! `checkpoint_every` cycles and up to `max_retries` transient retries;
 //! the report's `recovery` block carries the supervisor counters.
+//!
+//! `telemetry=<path>` (or `--telemetry <path>`) streams live per-PE
+//! metric snapshots to the path as NDJSON while the run is in flight
+//! (DESIGN.md §16); `monitor=1` (or `--monitor`) renders the live
+//! straggler table to stderr. Validate a finished stream with
+//! `pgp-top --validate <path> --report <report.json>`.
 
 use bench::harness::parse_tier;
 use bench::{
@@ -41,7 +47,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Normalize the conventional `--flag <path>` spellings into the
     // harness `key=value` form.
-    for flag in ["report", "trace", "backend"] {
+    for flag in ["report", "trace", "backend", "telemetry"] {
         if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
             assert!(i + 1 < args.len(), "--{flag} requires a path argument");
             let path = args.remove(i + 1);
@@ -50,6 +56,9 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--recover") {
         args[i] = "recover=1".to_string();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--monitor") {
+        args[i] = "monitor=1".to_string();
     }
     let name = arg(&args, "graph").unwrap_or_else(|| "amazon".to_string());
     let tier = parse_tier(arg(&args, "tier"));
@@ -90,12 +99,40 @@ fn main() {
     );
 
     let trace_path = arg(&args, "trace");
-    let (partition, stats, report, trace) = if recover {
-        let obs = if trace_path.is_some() {
-            pgp_obs::Obs::with_trace(p, pgp_obs::DEFAULT_TRACE_CAPACITY)
-        } else {
-            pgp_obs::Obs::new(p)
+    let telemetry_path = arg(&args, "telemetry");
+    let monitor_on = arg(&args, "monitor").is_some_and(|v| v != "0");
+    let live = telemetry_path.is_some() || monitor_on;
+    // Every path below records into one externally built registry: the
+    // telemetry monitor (when on) and the report read the same counters,
+    // which is what makes the stream-vs-report conservation check exact.
+    let obs = if trace_path.is_some() {
+        pgp_obs::Obs::with_trace(p, pgp_obs::DEFAULT_TRACE_CAPACITY)
+    } else {
+        pgp_obs::Obs::new(p)
+    };
+    let monitor = if live {
+        obs.set_backend(backend.name());
+        obs.enable_live();
+        let out: Box<dyn std::io::Write + Send> = match &telemetry_path {
+            Some(path) => {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).expect("create telemetry directory");
+                    }
+                }
+                Box::new(std::fs::File::create(path).expect("create telemetry stream file"))
+            }
+            None => Box::new(std::io::sink()),
         };
+        let mon_cfg = pgp_obs::LiveMonitorConfig {
+            render: monitor_on,
+            ..Default::default()
+        };
+        Some(pgp_obs::LiveMonitor::spawn(obs.clone(), mon_cfg, out).expect("spawn live monitor"))
+    } else {
+        None
+    };
+    let (partition, stats) = if recover {
         let run = pgp_dmp::RunConfig {
             backend: cfg.backend,
             obs: Some(obs.clone()),
@@ -122,15 +159,27 @@ fn main() {
             recovery.dead_ranks,
             recovery.lost_cycles
         );
-        (partition, stats, obs.report(), obs.trace())
-    } else if trace_path.is_some() {
-        let (partition, stats, report, trace) =
-            parhip::partition_parallel_traced(graph, p, &cfg, None);
-        (partition, stats, report, Some(trace))
+        (partition, stats)
     } else {
-        let (partition, stats, report) = parhip::partition_parallel_observed(graph, p, &cfg);
-        (partition, stats, report, None)
+        parhip::partition_parallel_with_obs(graph, p, &cfg, obs.clone())
     };
+    // Monitor before report: the final sweep writes the closing
+    // snapshots and any last alerts into the registry first.
+    if let Some(monitor) = monitor {
+        match monitor.finish() {
+            Ok(mstats) => {
+                if let Some(path) = &telemetry_path {
+                    println!(
+                        "[telemetry {path}: {} snapshot(s), {} alert(s)]",
+                        mstats.snapshots, mstats.alerts
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: telemetry stream failed: {e}"),
+        }
+    }
+    let report = obs.report();
+    let trace = obs.trace();
     println!(
         "cut = {}, imbalance = {:.4}, levels = {}, coarsest_n = {}",
         partition.edge_cut(graph),

@@ -47,6 +47,7 @@ pub use partitioner::{
     parhip_distributed, parhip_distributed_checkpointed, parhip_distributed_resume,
     parhip_distributed_supervised, parhip_distributed_with_input, partition_parallel,
     partition_parallel_observed, partition_parallel_resume, partition_parallel_supervised,
-    partition_parallel_traced, partition_parallel_with_input, partition_parallel_with_store,
-    CheckpointStore, LevelSummary, ParhipStats, RecoveryLimits, VCycleCheckpoint,
+    partition_parallel_traced, partition_parallel_with_input, partition_parallel_with_obs,
+    partition_parallel_with_store, CheckpointStore, LevelSummary, ParhipStats, RecoveryLimits,
+    VCycleCheckpoint,
 };

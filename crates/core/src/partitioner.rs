@@ -357,6 +357,11 @@ fn parhip_cycles(
     for cycle in start_cycle..cfg.vcycles.max(1) {
         let rec = comm.recorder();
         rec.enter("vcycle");
+        // Progress markers for the live telemetry plane: every PE passes
+        // the same coordinates at the same SPMD boundary, so a monitor
+        // comparing PEs sees algorithmic position, not clock skew.
+        let cycle_u32 = u32::try_from(cycle).unwrap_or(u32::MAX);
+        rec.set_progress(cycle_u32, 0, 0);
         // Cycle-start accounting for the recovery layer: one mark per
         // entered cycle (rank 0 only — the counter is global, not per-PE).
         if let Some(store) = store {
@@ -418,6 +423,7 @@ fn parhip_cycles(
             .collect();
         // Walk levels coarse→fine.
         for li in (0..hierarchy.depth() - 1).rev() {
+            rec.set_progress(cycle_u32, u32::try_from(li).unwrap_or(u32::MAX), 0);
             let fine = &hierarchy.levels[li].graph;
             let coarse = &hierarchy.levels[li + 1].graph;
             let mapping = &hierarchy.levels[li].mapping;
@@ -693,6 +699,39 @@ pub fn partition_parallel_observed(
     let partition = Partition::from_assignment(graph, cfg.k, assignment);
     stats.cut = partition.edge_cut(graph);
     (partition, stats, obs.report())
+}
+
+/// As [`partition_parallel_observed`], recording into a caller-supplied
+/// registry instead of a fresh one. This is the live-telemetry entry
+/// point: the caller enables live publication (`Obs::enable_live`) and
+/// attaches a `LiveMonitor` *before* the run, then assembles the report
+/// from the same registry after it — which is what lets the stream's
+/// final aggregates be checked against the report's counters exactly.
+/// `obs` must be sized for exactly `p` PEs.
+pub fn partition_parallel_with_obs(
+    graph: &CsrGraph,
+    p: usize,
+    cfg: &ParhipConfig,
+    obs: std::sync::Arc<pgp_obs::Obs>,
+) -> (Partition, ParhipStats) {
+    let run_cfg = pgp_dmp::RunConfig {
+        obs: Some(obs),
+        ..run_config_for(cfg)
+    };
+    let results = pgp_dmp::run_config(p, run_cfg, |comm| {
+        let dg = DistGraph::from_global(comm, graph);
+        let (local, stats) = parhip_distributed(comm, &dg, cfg);
+        let all = allgatherv(comm, local);
+        (all, stats)
+    });
+    let (assignment, mut stats) = results
+        .into_iter()
+        .next()
+        .expect("at least one PE")
+        .expect("fault-free observed run cannot fail structurally");
+    let partition = Partition::from_assignment(graph, cfg.k, assignment);
+    stats.cut = partition.edge_cut(graph);
+    (partition, stats)
 }
 
 /// As [`partition_parallel_observed`], additionally recording a bounded

@@ -1,0 +1,15 @@
+// Pass fixture for transport-confined (telemetry family): an
+// algorithm-layer file that interacts with the live plane only through
+// the sanctioned surface — the Recorder progress hooks on its own rank
+// and the public stream validator over a finished NDJSON file. No frame
+// files, no other PE's state.
+
+fn mark_round(comm: &Comm, round: usize) {
+    comm.recorder()
+        .set_round(u32::try_from(round).unwrap_or(u32::MAX));
+}
+
+fn check_finished_stream(text: &str) -> Result<u64, String> {
+    let summary = validate_live_stream(text)?;
+    Ok(summary.snapshots)
+}

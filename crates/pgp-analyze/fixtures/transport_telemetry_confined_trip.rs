@@ -1,0 +1,24 @@
+// Trip fixture for transport-confined (telemetry family): an
+// algorithm-layer file reaching into the live-telemetry side channel —
+// locating another PE's frame file, decoding frames by hand, and
+// consulting the post-mortem snapshot reader. All PE state must travel
+// through Comm messages; frame files are the monitor's channel.
+
+fn spy_on_neighbor(dir: &std::path::Path, rank: usize) -> Vec<String> {
+    let path = telemetry_frame_path(dir, rank);
+    let bytes = std::fs::read(path).expect("frame file");
+    read_telemetry_frames(&bytes)
+}
+
+fn peek_dead_rank(dir: &std::path::Path, rank: usize) -> Option<u64> {
+    let snap = read_last_telemetry_snapshot(&telemetry_frame_path(dir, rank))?;
+    Some(snap.msgs_sent)
+}
+
+fn leak_progress(w: &mut impl std::io::Write, line: &str) {
+    write_telemetry_frame(w, line).expect("frame write");
+}
+
+fn reroute_sink(dir: &str) {
+    std::env::set_var(ENV_TELEMETRY_DIR, dir);
+}

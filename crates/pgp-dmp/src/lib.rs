@@ -36,7 +36,7 @@ pub use dgraph::DistGraph;
 pub use exchange::LabelExchange;
 pub use transport::process::{
     maybe_run_worker, run_multiprocess, run_multiprocess_supervised, ProcessConfig,
-    ProcessSupervisor, WorkerCtx, WorkerFn,
+    ProcessSupervisor, WorkerCtx, WorkerFn, ENV_TELEMETRY_DIR,
 };
 pub use transport::BackendKind;
 pub use wire::{Wire, WireError, WireReader};

@@ -72,7 +72,18 @@ where
                 // re-raised (or mapped to an error) on the joining side, so
                 // any broken invariants die with the run.
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
-                    Ok(r) => PeOutcome::Done(Ok(r)),
+                    Ok(r) => {
+                        // Final telemetry flush on the PE's own thread:
+                        // store the closing resource sample for the report
+                        // and publish a last live snapshot whose counters
+                        // equal the PE's final totals — the conservation
+                        // contract the stream validator checks against the
+                        // RunReport. Both are single-branch no-ops when
+                        // observability (resp. live mode) is off.
+                        comm.recorder().sample_resources();
+                        comm.recorder().publish_live();
+                        PeOutcome::Done(Ok(r))
+                    }
                     Err(payload) => match payload.downcast::<CommAbort>() {
                         Ok(abort) => PeOutcome::Done(Err(abort.0)),
                         Err(payload) => {
@@ -461,55 +472,12 @@ where
     pairs.into_iter().unzip()
 }
 
-/// CPU time consumed by the calling thread, in seconds. Linux-only
-/// (`/proc/thread-self/stat`); returns 0.0 when unavailable.
-pub fn thread_cpu_seconds() -> f64 {
-    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
-        return 0.0;
-    };
-    // Fields 14 (utime) and 15 (stime) in clock ticks, counted after the
-    // parenthesized comm field (which may contain spaces).
-    let Some(rest) = stat.rsplit(')').next() else {
-        return 0.0;
-    };
-    let fields: Vec<&str> = rest.split_whitespace().collect();
-    // rest begins at field 3 ("state"), so utime/stime are at 11/12.
-    let (Some(ut), Some(st)) = (fields.get(11), fields.get(12)) else {
-        return 0.0;
-    };
-    let ticks: f64 = ut.parse::<u64>().unwrap_or(0) as f64 + st.parse::<u64>().unwrap_or(0) as f64;
-    ticks / clock_ticks_per_second()
-}
-
-/// `sysconf(_SC_CLK_TCK)`: the kernel's tick rate for `/proc` CPU-time
-/// fields. Read once via `getconf CLK_TCK` (the workspace is `#![forbid
-/// (unsafe_code)]`-adjacent and vendors no libc, so the POSIX query goes
-/// through the standard utility instead of an FFI call); falls back to
-/// 100, which is `USER_HZ` on every mainstream Linux configuration —
-/// the kernel fixes the userspace-visible rate at 100 regardless of the
-/// scheduler's internal `CONFIG_HZ`, so the fallback is almost always
-/// exact rather than approximate.
-fn clock_ticks_per_second() -> f64 {
-    static CLK_TCK: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
-    *CLK_TCK.get_or_init(|| {
-        std::process::Command::new("getconf")
-            .arg("CLK_TCK")
-            .output()
-            .ok()
-            .and_then(|out| {
-                if !out.status.success() {
-                    return None;
-                }
-                String::from_utf8(out.stdout)
-                    .ok()?
-                    .trim()
-                    .parse::<f64>()
-                    .ok()
-            })
-            .filter(|&hz| hz > 0.0)
-            .unwrap_or(100.0)
-    })
-}
+/// CPU time consumed by the calling thread, in seconds — re-exported
+/// from `pgp-obs`, where resource observation now lives alongside the
+/// rest of the telemetry plane ([`pgp_obs::ResourceSample`] embeds the
+/// same reading per PE). The `pgp_dmp::thread_cpu_seconds` path is kept
+/// for the benchmarks and downstream callers.
+pub use pgp_obs::thread_cpu_seconds;
 
 /// SplitMix64-style mixing of a global seed and a rank.
 pub fn mix_seed(seed: u64, rank: u64) -> u64 {
@@ -785,11 +753,6 @@ mod cpu_time_tests {
         assert!(times.iter().all(|&t| (0.0..10.0).contains(&t)));
     }
 
-    #[test]
-    fn clock_tick_rate_is_sane() {
-        let hz = clock_ticks_per_second();
-        // POSIX guarantees a positive rate; every Linux we target uses
-        // USER_HZ = 100, but accept any plausible configuration.
-        assert!((1.0..=10_000.0).contains(&hz), "implausible CLK_TCK {hz}");
-    }
+    // The clock-tick-rate sanity test moved to `pgp-obs::resources` with
+    // the helper itself; this module keeps the runner-facing contracts.
 }

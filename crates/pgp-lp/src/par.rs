@@ -230,6 +230,9 @@ pub fn parallel_sclp_cluster_with_scratch(
     let mut stats = SclpStats::default();
     for round in 0..iterations {
         let _round_span = comm.recorder().span("sclp_round");
+        // Round marker for the live telemetry plane (SPMD-uniform).
+        comm.recorder()
+            .set_round(u32::try_from(round).unwrap_or(u32::MAX));
         let moved = if threads > 1 {
             cluster_round_chunked(
                 comm,
@@ -525,6 +528,9 @@ pub fn parallel_sclp_refine_with_scratch(
     let mut stats = SclpStats::default();
     for round in 0..iterations {
         let _round_span = comm.recorder().span("sclp_round");
+        // Round marker for the live telemetry plane (SPMD-uniform).
+        comm.recorder()
+            .set_round(u32::try_from(round).unwrap_or(u32::MAX));
         order.shuffle(&mut rng);
         // Per-phase inflow budget: the block's remaining slack is split
         // across PEs (floor share + round-robin remainder, rotated per block

@@ -1,0 +1,1095 @@
+//! Live telemetry plane: in-flight per-PE metric snapshots, the NDJSON
+//! stream format, alert rules, and the aggregating monitor.
+//!
+//! Until this module existed, all observability was post-mortem: the
+//! RunReport and trace appear only after the PEs join. Here each PE
+//! publishes a compact [`MetricSnapshot`] at every phase boundary
+//! (`Comm::fresh_tag_block`, plus one final publish when the PE's
+//! closure returns) into a per-PE shared slot on the [`Obs`] registry —
+//! out-of-band from the compute path, so the hot path is untouched and
+//! the disabled path stays single-branch (the hotpath A/B bench gates
+//! this). A [`LiveMonitor`] thread polls the slots, renders a live
+//! per-PE straggler table, appends machine-readable NDJSON, and
+//! evaluates [`AlertRule`]s whose events land in the stream, the run
+//! report's `alerts` block, and (when tracing) the per-PE trace ring.
+//!
+//! ## Stream format (NDJSON, one JSON object per line)
+//!
+//! - `{"type": "meta", "live_schema_version": 1, "p": …, "backend": …}`
+//!   — always first.
+//! - `{"type": "snapshot", …}` — one per new [`MetricSnapshot`]; per-PE
+//!   `seq` is strictly increasing and counters are monotone.
+//! - `{"type": "alert", "rule": …, "pe": …, "value": …, …}`.
+//! - `{"type": "summary", …}` — always last; totals equal the final
+//!   snapshot of every rank, and [`validate_live_stream`] checks that
+//!   plus every monotonicity invariant.
+//!
+//! ## Determinism contract
+//!
+//! Snapshot *timing* is wall-clock and racy; snapshot *content* at the
+//! final publish is not — it equals the PE's finished counters, which is
+//! why the conservation test can require the stream's final aggregates
+//! to match the RunReport exactly. Nothing here writes into golden-
+//! compared report fields except the `alerts` block, which
+//! `to_json(true)` empties (alerts fire on wall-clock skew).
+//!
+//! ## Side channel for the multi-process backend
+//!
+//! One-OS-process-per-PE workers share no memory with the supervisor,
+//! so slots cannot carry their snapshots. Instead each worker appends
+//! length-prefixed telemetry frames ([`write_telemetry_frame`]) to
+//! `frames-<rank>.bin` under `$PGP_TELEMETRY_DIR`; the parent reads a
+//! SIGKILL'd rank's last frame ([`read_last_telemetry_snapshot`]) to
+//! name the phase it died in. The frame reader tolerates a truncated
+//! tail — a kill can land mid-write.
+
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::{push_json_str, JsonValue};
+use crate::recorder::Obs;
+use crate::report::{RunReport, TagEntry};
+use crate::resources::ResourceSample;
+
+/// Version of the live snapshot / NDJSON stream schema. Independent of
+/// the report's `SCHEMA_VERSION`: the stream is an interchange format
+/// for monitors, the report an artifact format.
+pub const LIVE_SCHEMA_VERSION: u32 = 1;
+
+/// One PE's in-flight state, published at phase boundaries.
+///
+/// All counters are cumulative since run start (monotone per rank), so
+/// a monitor that misses intermediate snapshots still aggregates
+/// correctly, and the final snapshot equals the PE's finished totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSnapshot {
+    /// Publishing PE.
+    pub rank: usize,
+    /// Per-PE publish ordinal, starting at 1. Strictly increasing.
+    pub seq: u64,
+    /// Run-epoch nanoseconds at publication.
+    pub epoch_ns: u64,
+    /// Innermost open span path (`vcycle/coarsen/…`), empty at root.
+    pub phase_path: String,
+    /// V-cycle progress (see `Recorder::set_progress`).
+    pub cycle: u32,
+    /// Hierarchy-level progress.
+    pub level: u32,
+    /// Local-search round progress.
+    pub round: u32,
+    /// Messages sent so far.
+    pub msgs_sent: u64,
+    /// Payload bytes sent so far.
+    pub bytes_sent: u64,
+    /// Messages received so far.
+    pub msgs_recvd: u64,
+    /// Payload bytes received so far.
+    pub bytes_recvd: u64,
+    /// Per-tag send counters, tag ascending.
+    pub sent_by_tag: Vec<TagEntry>,
+    /// Per-tag receive counters, tag ascending.
+    pub recvd_by_tag: Vec<TagEntry>,
+    /// Receive waits that actually blocked, so far.
+    pub recv_wait_count: u64,
+    /// Median receive-wait latency so far (bucket resolution).
+    pub recv_wait_p50_ns: u64,
+    /// 95th-percentile receive-wait latency so far.
+    pub recv_wait_p95_ns: u64,
+    /// Cut after the most recent refinement pass (0 before any).
+    pub last_cut: u64,
+    /// Imbalance after the most recent refinement pass.
+    pub last_imbalance: f64,
+    /// Recovery-supervisor attempts so far (1 = first launch).
+    pub recovery_attempts: u64,
+    /// Transient retries so far.
+    pub recovery_retries: u64,
+    /// Full recoveries so far.
+    pub recovery_recoveries: u64,
+    /// Resource sample taken at publication.
+    pub resources: ResourceSample,
+}
+
+impl MetricSnapshot {
+    /// Serializes as one NDJSON `snapshot` line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(512);
+        o.push_str(&format!(
+            "{{\"type\": \"snapshot\", \"v\": {LIVE_SCHEMA_VERSION}, \"rank\": {}, \"seq\": {}, \
+             \"epoch_ns\": {}, \"phase_path\": ",
+            self.rank, self.seq, self.epoch_ns
+        ));
+        push_json_str(&mut o, &self.phase_path);
+        o.push_str(&format!(
+            ", \"cycle\": {}, \"level\": {}, \"round\": {}, \"msgs_sent\": {}, \
+             \"bytes_sent\": {}, \"msgs_recvd\": {}, \"bytes_recvd\": {}",
+            self.cycle,
+            self.level,
+            self.round,
+            self.msgs_sent,
+            self.bytes_sent,
+            self.msgs_recvd,
+            self.bytes_recvd
+        ));
+        for (key, entries) in [
+            ("sent_by_tag", &self.sent_by_tag),
+            ("recvd_by_tag", &self.recvd_by_tag),
+        ] {
+            o.push_str(&format!(", \"{key}\": ["));
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str(&format!(
+                    "{{\"tag\": {}, \"msgs\": {}, \"bytes\": {}}}",
+                    e.tag, e.msgs, e.bytes
+                ));
+            }
+            o.push(']');
+        }
+        o.push_str(&format!(
+            ", \"recv_wait_count\": {}, \"recv_wait_p50_ns\": {}, \"recv_wait_p95_ns\": {}, \
+             \"last_cut\": {}, \"last_imbalance\": {}, \"recovery_attempts\": {}, \
+             \"recovery_retries\": {}, \"recovery_recoveries\": {}",
+            self.recv_wait_count,
+            self.recv_wait_p50_ns,
+            self.recv_wait_p95_ns,
+            self.last_cut,
+            self.last_imbalance,
+            self.recovery_attempts,
+            self.recovery_retries,
+            self.recovery_recoveries
+        ));
+        let r = &self.resources;
+        o.push_str(&format!(
+            ", \"resources\": {{\"rss_current_kb\": {}, \"rss_peak_kb\": {}, \
+             \"thread_cpu_s\": {}, \"allocs\": {}, \"alloc_bytes\": {}}}}}",
+            r.rss_current_kb, r.rss_peak_kb, r.thread_cpu_s, r.allocs, r.alloc_bytes
+        ));
+        o
+    }
+
+    /// Parses a `snapshot` line previously produced by
+    /// [`MetricSnapshot::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<MetricSnapshot, String> {
+        let v = JsonValue::parse(line)?;
+        Self::from_json(&v)
+    }
+
+    fn from_json(v: &JsonValue) -> Result<MetricSnapshot, String> {
+        if v.get("type").and_then(JsonValue::as_str) != Some("snapshot") {
+            return Err("not a snapshot line".to_string());
+        }
+        let version = v
+            .get("v")
+            .and_then(JsonValue::as_u64)
+            .ok_or("snapshot missing v")?;
+        if version != u64::from(LIVE_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported live schema version {version} (this build reads {LIVE_SCHEMA_VERSION})"
+            ));
+        }
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("snapshot missing {k}"))
+        };
+        let u32_of = |k: &str| {
+            u(k).and_then(|x| u32::try_from(x).map_err(|_| format!("snapshot {k} out of range")))
+        };
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("snapshot missing {k}"))
+        };
+        let tags = |k: &str| -> Result<Vec<TagEntry>, String> {
+            v.get(k)
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| format!("snapshot missing {k}"))?
+                .iter()
+                .map(|e| {
+                    let g = |k: &str| e.get(k).and_then(JsonValue::as_u64).ok_or("bad tag entry");
+                    Ok(TagEntry {
+                        tag: g("tag")?,
+                        msgs: g("msgs")?,
+                        bytes: g("bytes")?,
+                    })
+                })
+                .collect()
+        };
+        let res = v.get("resources").ok_or("snapshot missing resources")?;
+        let ru = |k: &str| {
+            res.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("resources missing {k}"))
+        };
+        Ok(MetricSnapshot {
+            rank: usize::try_from(u("rank")?).map_err(|_| "rank out of range")?,
+            seq: u("seq")?,
+            epoch_ns: u("epoch_ns")?,
+            phase_path: v
+                .get("phase_path")
+                .and_then(JsonValue::as_str)
+                .ok_or("snapshot missing phase_path")?
+                .to_string(),
+            cycle: u32_of("cycle")?,
+            level: u32_of("level")?,
+            round: u32_of("round")?,
+            msgs_sent: u("msgs_sent")?,
+            bytes_sent: u("bytes_sent")?,
+            msgs_recvd: u("msgs_recvd")?,
+            bytes_recvd: u("bytes_recvd")?,
+            sent_by_tag: tags("sent_by_tag")?,
+            recvd_by_tag: tags("recvd_by_tag")?,
+            recv_wait_count: u("recv_wait_count")?,
+            recv_wait_p50_ns: u("recv_wait_p50_ns")?,
+            recv_wait_p95_ns: u("recv_wait_p95_ns")?,
+            last_cut: u("last_cut")?,
+            last_imbalance: f("last_imbalance")?,
+            recovery_attempts: u("recovery_attempts")?,
+            recovery_retries: u("recovery_retries")?,
+            recovery_recoveries: u("recovery_recoveries")?,
+            resources: ResourceSample {
+                rss_current_kb: ru("rss_current_kb")?,
+                rss_peak_kb: ru("rss_peak_kb")?,
+                thread_cpu_s: res
+                    .get("thread_cpu_s")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("resources missing thread_cpu_s")?,
+                allocs: ru("allocs")?,
+                alloc_bytes: ru("alloc_bytes")?,
+            },
+        })
+    }
+}
+
+/// One fired alert: a rule crossed its threshold on a PE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertEvent {
+    /// Rule identifier (`straggler-skew`, `imbalance-drift`,
+    /// `recovery-escalation`).
+    pub rule: String,
+    /// The PE the alert blames (the straggler, the escalating rank).
+    pub pe: usize,
+    /// Observed value that crossed the threshold.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// Run-epoch nanoseconds when the monitor fired the alert.
+    pub epoch_ns: u64,
+}
+
+impl AlertEvent {
+    /// Serializes as one NDJSON `alert` line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(128);
+        o.push_str("{\"type\": \"alert\", \"rule\": ");
+        push_json_str(&mut o, &self.rule);
+        o.push_str(&format!(
+            ", \"pe\": {}, \"value\": {}, \"threshold\": {}, \"epoch_ns\": {}}}",
+            self.pe, self.value, self.threshold, self.epoch_ns
+        ));
+        o
+    }
+}
+
+/// One live alert rule: an identifier plus the threshold the monitor
+/// compares its observed value against. See [`AlertRule::defaults`] for
+/// the semantics of each built-in rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlertRule {
+    /// Built-in rule identifier.
+    pub id: &'static str,
+    /// Firing threshold (semantics per rule).
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    /// The built-in rule set:
+    ///
+    /// - `straggler-skew` (threshold 4.0): fires when the fastest PE has
+    ///   sent more than `threshold ×` the bytes of the slowest (with a
+    ///   small absolute floor so startup noise cannot trip it), blaming
+    ///   the slowest PE.
+    /// - `imbalance-drift` (threshold 0.10): fires when the most recent
+    ///   refinement pass on rank 0 reports imbalance above threshold.
+    /// - `recovery-escalation` (threshold 1.0): fires when the recovery
+    ///   supervisor has relaunched the group more than `threshold`
+    ///   times (attempts − 1 > threshold), blaming the last dead rank's
+    ///   replacement (rank 0 when none is known).
+    pub fn defaults() -> Vec<AlertRule> {
+        vec![
+            AlertRule {
+                id: "straggler-skew",
+                threshold: 4.0,
+            },
+            AlertRule {
+                id: "imbalance-drift",
+                threshold: 0.10,
+            },
+            AlertRule {
+                id: "recovery-escalation",
+                threshold: 1.0,
+            },
+        ]
+    }
+}
+
+/// Bytes a PE must have sent before `straggler-skew` may consider it:
+/// below this every PE is still starting up and ratios are noise.
+const SKEW_FLOOR_BYTES: u64 = 1 << 12;
+
+/// Evaluates the alert rules against the latest snapshot of every PE.
+/// Pure and deterministic given the snapshots; the monitor debounces
+/// (fires each rule at most once per run) around this.
+pub fn evaluate_alerts(
+    rules: &[AlertRule],
+    latest: &[Option<MetricSnapshot>],
+    epoch_ns: u64,
+) -> Vec<AlertEvent> {
+    let mut fired = Vec::new();
+    let have: Vec<&MetricSnapshot> = latest.iter().flatten().collect();
+    if have.is_empty() {
+        return fired;
+    }
+    for rule in rules {
+        match rule.id {
+            "straggler-skew" => {
+                if have.len() < latest.len() || latest.len() < 2 {
+                    continue; // need every PE's view to call one a straggler
+                }
+                let max = have.iter().map(|s| s.bytes_sent).max().unwrap_or(0);
+                let (min, min_pe) = have
+                    .iter()
+                    .map(|s| (s.bytes_sent, s.rank))
+                    .min()
+                    .unwrap_or((0, 0));
+                if max >= SKEW_FLOOR_BYTES && (max as f64) > rule.threshold * (min.max(1) as f64) {
+                    fired.push(AlertEvent {
+                        rule: rule.id.to_string(),
+                        pe: min_pe,
+                        value: max as f64 / min.max(1) as f64,
+                        threshold: rule.threshold,
+                        epoch_ns,
+                    });
+                }
+            }
+            "imbalance-drift" => {
+                if let Some(s) = have.iter().find(|s| s.rank == 0) {
+                    if s.last_imbalance > rule.threshold {
+                        fired.push(AlertEvent {
+                            rule: rule.id.to_string(),
+                            pe: 0,
+                            value: s.last_imbalance,
+                            threshold: rule.threshold,
+                            epoch_ns,
+                        });
+                    }
+                }
+            }
+            "recovery-escalation" => {
+                if let Some(s) = have.first() {
+                    let relaunches = s.recovery_attempts.saturating_sub(1);
+                    if relaunches as f64 > rule.threshold {
+                        fired.push(AlertEvent {
+                            rule: rule.id.to_string(),
+                            pe: s.rank,
+                            value: relaunches as f64,
+                            threshold: rule.threshold,
+                            epoch_ns,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fired
+}
+
+/// Renders the live per-PE straggler table from the latest snapshots.
+/// The slowest PE (fewest bytes sent) is marked — the same blame story
+/// the post-mortem straggler table tells, available mid-run.
+pub fn render_live_table(latest: &[Option<MetricSnapshot>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<28} {:>5} {:>5} {:>5} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "pe", "phase", "cyc", "lvl", "rnd", "msgs", "KiB", "p95 wait", "rss MiB", "cpu s"
+    );
+    let min_bytes = latest
+        .iter()
+        .flatten()
+        .map(|s| s.bytes_sent)
+        .min()
+        .unwrap_or(0);
+    let multiple = latest.iter().flatten().count() > 1;
+    for (rank, slot) in latest.iter().enumerate() {
+        match slot {
+            None => {
+                let _ = writeln!(out, "{rank:>4}  (no snapshot yet)");
+            }
+            Some(s) => {
+                let phase = if s.phase_path.is_empty() {
+                    "(root)"
+                } else {
+                    &s.phase_path
+                };
+                let straggler = if multiple && s.bytes_sent == min_bytes {
+                    "  <- behind"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>4}  {:<28} {:>5} {:>5} {:>5} {:>10} {:>10} {:>8.2}ms {:>9.1} {:>8.2}{}",
+                    s.rank,
+                    phase,
+                    s.cycle,
+                    s.level,
+                    s.round,
+                    s.msgs_sent,
+                    s.bytes_sent / 1024,
+                    s.recv_wait_p95_ns as f64 / 1e6,
+                    s.resources.rss_current_kb as f64 / 1024.0,
+                    s.resources.thread_cpu_s,
+                    straggler
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Configuration for [`LiveMonitor::spawn`].
+#[derive(Clone, Debug)]
+pub struct LiveMonitorConfig {
+    /// Slot-polling cadence. Snapshots are published at phase
+    /// boundaries, so polling faster than the phase rate only re-reads
+    /// unchanged slots (cheap: one mutex clone per PE).
+    pub interval: Duration,
+    /// Alert rules to evaluate each poll (each fires at most once).
+    pub alerts: Vec<AlertRule>,
+    /// Render the live straggler table to stderr each poll.
+    pub render: bool,
+}
+
+impl Default for LiveMonitorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(50),
+            alerts: AlertRule::defaults(),
+            render: false,
+        }
+    }
+}
+
+/// What the monitor saw, returned by [`LiveMonitor::finish`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorStats {
+    /// Snapshot lines written.
+    pub snapshots: u64,
+    /// Alert lines written.
+    pub alerts: u64,
+    /// Final `(msgs_sent, bytes_sent)` per rank, from each rank's last
+    /// snapshot (zeros for ranks that never published).
+    pub final_per_pe: Vec<(u64, u64)>,
+}
+
+/// Aggregating monitor thread: polls the registry's live slots, appends
+/// NDJSON to a writer, optionally renders the straggler table, and
+/// evaluates alert rules. Spawn before the run starts; call
+/// [`LiveMonitor::finish`] after the run's PEs have joined — it does a
+/// final slot sweep (so the last published state is always streamed)
+/// and writes the `summary` line.
+pub struct LiveMonitor {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<MonitorStats>>,
+}
+
+impl LiveMonitor {
+    /// Starts the monitor over `obs` (which must already have live
+    /// publication enabled via `Obs::enable_live`), streaming NDJSON to
+    /// `out`. The `meta` line is written before this returns.
+    pub fn spawn(
+        obs: Arc<Obs>,
+        cfg: LiveMonitorConfig,
+        mut out: Box<dyn std::io::Write + Send>,
+    ) -> std::io::Result<LiveMonitor> {
+        writeln!(
+            out,
+            "{{\"type\": \"meta\", \"live_schema_version\": {LIVE_SCHEMA_VERSION}, \"p\": {}, \
+             \"backend\": \"{}\"}}",
+            obs.p(),
+            obs.backend_name()
+        )?;
+        out.flush()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pgp-live-monitor".to_string())
+            .spawn(move || Self::run(&obs, &cfg, &mut out, &stop_flag))
+            .expect("spawn live monitor thread");
+        Ok(LiveMonitor { stop, handle })
+    }
+
+    fn run(
+        obs: &Arc<Obs>,
+        cfg: &LiveMonitorConfig,
+        out: &mut Box<dyn std::io::Write + Send>,
+        stop: &AtomicBool,
+    ) -> std::io::Result<MonitorStats> {
+        let p = obs.p();
+        let mut stats = MonitorStats {
+            final_per_pe: vec![(0, 0); p],
+            ..MonitorStats::default()
+        };
+        let mut latest: Vec<Option<MetricSnapshot>> = vec![None; p];
+        let mut fired_rules: Vec<String> = Vec::new();
+        loop {
+            let stopping = stop.load(Ordering::Acquire);
+            let mut wrote = false;
+            for (rank, slot) in latest.iter_mut().enumerate() {
+                let snap = obs.live_snapshot(rank);
+                if let Some(snap) = snap {
+                    let is_new = slot.as_ref().is_none_or(|prev| snap.seq > prev.seq);
+                    if is_new {
+                        writeln!(out, "{}", snap.to_json_line())?;
+                        stats.snapshots += 1;
+                        stats.final_per_pe[rank] = (snap.msgs_sent, snap.bytes_sent);
+                        *slot = Some(snap);
+                        wrote = true;
+                    }
+                }
+            }
+            // Alerts: each rule fires at most once per run (the stream
+            // is for operators, not for re-deriving the condition).
+            for alert in evaluate_alerts(&cfg.alerts, &latest, obs.epoch_elapsed_ns()) {
+                if fired_rules.iter().any(|r| r == &alert.rule) {
+                    continue;
+                }
+                fired_rules.push(alert.rule.clone());
+                writeln!(out, "{}", alert.to_json_line())?;
+                stats.alerts += 1;
+                obs.record_alert(&alert);
+            }
+            if wrote {
+                out.flush()?;
+                if cfg.render {
+                    // Clear + home so the table repaints in place.
+                    eprint!("\x1b[2J\x1b[H{}", render_live_table(&latest));
+                }
+            }
+            if stopping {
+                break;
+            }
+            std::thread::sleep(cfg.interval);
+        }
+        let mut o = String::with_capacity(128);
+        o.push_str(&format!(
+            "{{\"type\": \"summary\", \"snapshots\": {}, \"alerts\": {}, \"per_pe\": [",
+            stats.snapshots, stats.alerts
+        ));
+        for (rank, (msgs, bytes)) in stats.final_per_pe.iter().enumerate() {
+            if rank > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!(
+                "{{\"rank\": {rank}, \"msgs_sent\": {msgs}, \"bytes_sent\": {bytes}}}"
+            ));
+        }
+        let (total_msgs, total_bytes) = stats
+            .final_per_pe
+            .iter()
+            .fold((0u64, 0u64), |(m, b), &(pm, pb)| (m + pm, b + pb));
+        o.push_str(&format!(
+            "], \"msgs_sent_total\": {total_msgs}, \"bytes_sent_total\": {total_bytes}}}"
+        ));
+        writeln!(out, "{o}")?;
+        out.flush()?;
+        Ok(stats)
+    }
+
+    /// Stops the monitor after one final slot sweep and the `summary`
+    /// line. Call after the run's PEs have joined so the sweep sees
+    /// every rank's final publish.
+    pub fn finish(self) -> std::io::Result<MonitorStats> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.join() {
+            Ok(r) => r,
+            Err(_) => Err(std::io::Error::other("live monitor thread panicked")),
+        }
+    }
+}
+
+/// Validated overview of one NDJSON telemetry stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveStreamSummary {
+    /// PE count from the `meta` line.
+    pub p: usize,
+    /// Backend name from the `meta` line.
+    pub backend: String,
+    /// Snapshot lines seen.
+    pub snapshots: u64,
+    /// Alert lines seen.
+    pub alerts: u64,
+    /// Each rank's final snapshot (None if it never published).
+    pub final_per_pe: Vec<Option<MetricSnapshot>>,
+    /// Total messages sent per the summary line.
+    pub msgs_sent_total: u64,
+    /// Total bytes sent per the summary line.
+    pub bytes_sent_total: u64,
+}
+
+/// Parses and validates a complete NDJSON telemetry stream: `meta`
+/// first, per-rank `seq` strictly increasing, counters and peak RSS
+/// monotone, schema versions supported, `summary` last and consistent
+/// with the final snapshots.
+pub fn validate_live_stream(text: &str) -> Result<LiveStreamSummary, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty telemetry stream")?;
+    let meta = JsonValue::parse(first).map_err(|e| format!("meta line: {e}"))?;
+    if meta.get("type").and_then(JsonValue::as_str) != Some("meta") {
+        return Err("first line must be a meta line".to_string());
+    }
+    let version = meta
+        .get("live_schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("meta missing live_schema_version")?;
+    if version != u64::from(LIVE_SCHEMA_VERSION) {
+        return Err(format!("unsupported live schema version {version}"));
+    }
+    let p = meta
+        .get("p")
+        .and_then(JsonValue::as_u64)
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or("meta missing p")?;
+    let mut summary = LiveStreamSummary {
+        p,
+        backend: meta
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .ok_or("meta missing backend")?
+            .to_string(),
+        final_per_pe: vec![None; p],
+        ..LiveStreamSummary::default()
+    };
+    let mut saw_summary = false;
+    for (idx, line) in lines {
+        if saw_summary {
+            return Err(format!("line {}: content after summary", idx + 1));
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match v.get("type").and_then(JsonValue::as_str) {
+            Some("snapshot") => {
+                let snap =
+                    MetricSnapshot::from_json(&v).map_err(|e| format!("line {}: {e}", idx + 1))?;
+                if snap.rank >= p {
+                    return Err(format!("line {}: rank {} out of range", idx + 1, snap.rank));
+                }
+                if let Some(prev) = &summary.final_per_pe[snap.rank] {
+                    if snap.seq <= prev.seq {
+                        return Err(format!(
+                            "line {}: rank {} seq {} not increasing (prev {})",
+                            idx + 1,
+                            snap.rank,
+                            snap.seq,
+                            prev.seq
+                        ));
+                    }
+                    let monotone = [
+                        ("msgs_sent", prev.msgs_sent, snap.msgs_sent),
+                        ("bytes_sent", prev.bytes_sent, snap.bytes_sent),
+                        ("msgs_recvd", prev.msgs_recvd, snap.msgs_recvd),
+                        ("bytes_recvd", prev.bytes_recvd, snap.bytes_recvd),
+                        (
+                            "recv_wait_count",
+                            prev.recv_wait_count,
+                            snap.recv_wait_count,
+                        ),
+                        (
+                            "rss_peak_kb",
+                            prev.resources.rss_peak_kb,
+                            snap.resources.rss_peak_kb,
+                        ),
+                        ("epoch_ns", prev.epoch_ns, snap.epoch_ns),
+                    ];
+                    for (name, before, after) in monotone {
+                        if after < before {
+                            return Err(format!(
+                                "line {}: rank {} {name} went backwards ({before} -> {after})",
+                                idx + 1,
+                                snap.rank
+                            ));
+                        }
+                    }
+                }
+                summary.snapshots += 1;
+                let rank = snap.rank;
+                summary.final_per_pe[rank] = Some(snap);
+            }
+            Some("alert") => {
+                v.get("rule")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("line {}: alert missing rule", idx + 1))?;
+                summary.alerts += 1;
+            }
+            Some("summary") => {
+                saw_summary = true;
+                let s = |k: &str| {
+                    v.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("summary missing {k}"))
+                };
+                summary.msgs_sent_total = s("msgs_sent_total")?;
+                summary.bytes_sent_total = s("bytes_sent_total")?;
+                if s("snapshots")? != summary.snapshots {
+                    return Err("summary snapshot count does not match stream".to_string());
+                }
+                let (m, b) = summary
+                    .final_per_pe
+                    .iter()
+                    .flatten()
+                    .fold((0u64, 0u64), |(m, b), s| {
+                        (m + s.msgs_sent, b + s.bytes_sent)
+                    });
+                if (m, b) != (summary.msgs_sent_total, summary.bytes_sent_total) {
+                    return Err(format!(
+                        "summary totals ({}, {}) do not match final snapshots ({m}, {b})",
+                        summary.msgs_sent_total, summary.bytes_sent_total
+                    ));
+                }
+            }
+            Some("meta") => return Err(format!("line {}: duplicate meta line", idx + 1)),
+            _ => return Err(format!("line {}: unknown line type", idx + 1)),
+        }
+    }
+    if !saw_summary {
+        return Err("stream has no summary line (monitor not finished?)".to_string());
+    }
+    Ok(summary)
+}
+
+/// Checks a validated stream against the run's report: every rank's
+/// final streamed send counters must equal the report's per-PE totals
+/// exactly — the conservation contract of the final publish.
+pub fn check_stream_matches_report(
+    stream: &LiveStreamSummary,
+    report: &RunReport,
+) -> Result<(), String> {
+    if stream.p != report.p {
+        return Err(format!("stream p={} but report p={}", stream.p, report.p));
+    }
+    for pe in &report.per_pe {
+        let (msgs, bytes) = pe
+            .comm
+            .sent
+            .iter()
+            .fold((0u64, 0u64), |(m, b), e| (m + e.msgs, b + e.bytes));
+        let snap = stream.final_per_pe[pe.rank]
+            .as_ref()
+            .ok_or_else(|| format!("rank {} never published a snapshot", pe.rank))?;
+        if (snap.msgs_sent, snap.bytes_sent) != (msgs, bytes) {
+            return Err(format!(
+                "rank {}: stream final ({}, {}) != report ({msgs}, {bytes})",
+                pe.rank, snap.msgs_sent, snap.bytes_sent
+            ));
+        }
+        let (rmsgs, rbytes) = pe
+            .comm
+            .recvd
+            .iter()
+            .fold((0u64, 0u64), |(m, b), e| (m + e.msgs, b + e.bytes));
+        if (snap.msgs_recvd, snap.bytes_recvd) != (rmsgs, rbytes) {
+            return Err(format!(
+                "rank {}: stream recv final ({}, {}) != report ({rmsgs}, {rbytes})",
+                pe.rank, snap.msgs_recvd, snap.bytes_recvd
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Telemetry frame side channel (multi-process backend).
+// ---------------------------------------------------------------------
+
+/// Path of rank `rank`'s telemetry frame file under `dir`.
+pub fn telemetry_frame_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("frames-{rank}.bin"))
+}
+
+/// Appends one length-prefixed telemetry frame (u32 LE length + UTF-8
+/// JSON line) to `w`.
+pub fn write_telemetry_frame(w: &mut impl std::io::Write, json_line: &str) -> std::io::Result<()> {
+    let len = u32::try_from(json_line.len())
+        .map_err(|_| std::io::Error::other("telemetry frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(json_line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads every complete frame from `bytes`; a truncated final frame
+/// (the writer was SIGKILL'd mid-append) is silently discarded.
+pub fn read_telemetry_frames(bytes: &[u8]) -> Vec<String> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos + 4 <= bytes.len() {
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&bytes[pos..pos + 4]);
+        let len = u32::from_le_bytes(len_buf) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            break; // truncated tail
+        }
+        if let Ok(s) = std::str::from_utf8(&bytes[pos..pos + len]) {
+            frames.push(s.to_string());
+        }
+        pos += len;
+    }
+    frames
+}
+
+/// Reads the last complete snapshot frame from a frame file, if any —
+/// the blame record for a rank that died mid-run.
+pub fn read_last_telemetry_snapshot(path: &Path) -> Option<MetricSnapshot> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .ok()?
+        .read_to_end(&mut bytes)
+        .ok()?;
+    read_telemetry_frames(&bytes)
+        .iter()
+        .rev()
+        .find_map(|line| MetricSnapshot::from_json_line(line).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rank: usize, seq: u64, bytes_sent: u64) -> MetricSnapshot {
+        MetricSnapshot {
+            rank,
+            seq,
+            epoch_ns: seq * 100,
+            phase_path: "vcycle/coarsen".to_string(),
+            cycle: 1,
+            level: 2,
+            round: 3,
+            msgs_sent: bytes_sent / 8,
+            bytes_sent,
+            msgs_recvd: bytes_sent / 8,
+            bytes_recvd: bytes_sent,
+            sent_by_tag: vec![TagEntry {
+                tag: 7,
+                msgs: bytes_sent / 8,
+                bytes: bytes_sent,
+            }],
+            recvd_by_tag: vec![],
+            recv_wait_count: 1,
+            recv_wait_p50_ns: 128,
+            recv_wait_p95_ns: 512,
+            last_cut: 42,
+            last_imbalance: 0.03,
+            recovery_attempts: 1,
+            recovery_retries: 0,
+            recovery_recoveries: 0,
+            resources: ResourceSample {
+                rss_current_kb: 1000,
+                rss_peak_kb: 2000,
+                thread_cpu_s: 0.5,
+                allocs: 0,
+                alloc_bytes: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json_line() {
+        let s = snap(3, 9, 4096);
+        let line = s.to_json_line();
+        let parsed = MetricSnapshot::from_json_line(&line).expect("parse");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn snapshot_rejects_future_live_schema() {
+        let line = snap(0, 1, 64)
+            .to_json_line()
+            .replace("\"v\": 1", "\"v\": 99");
+        let err = MetricSnapshot::from_json_line(&line).expect_err("must reject");
+        assert!(err.contains("live schema"), "{err}");
+    }
+
+    fn stream_of(lines: &[String]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\": \"meta\", \"live_schema_version\": {LIVE_SCHEMA_VERSION}, \
+             \"p\": 2, \"backend\": \"threads\"}}\n"
+        ));
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn summary_line(snaps: u64, per_pe: &[(u64, u64)]) -> String {
+        let mut o = format!(
+            "{{\"type\": \"summary\", \"snapshots\": {snaps}, \"alerts\": 0, \"per_pe\": ["
+        );
+        for (rank, (m, b)) in per_pe.iter().enumerate() {
+            if rank > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!(
+                "{{\"rank\": {rank}, \"msgs_sent\": {m}, \"bytes_sent\": {b}}}"
+            ));
+        }
+        let (tm, tb) = per_pe
+            .iter()
+            .fold((0u64, 0u64), |(m, b), &(pm, pb)| (m + pm, b + pb));
+        o.push_str(&format!(
+            "], \"msgs_sent_total\": {tm}, \"bytes_sent_total\": {tb}}}"
+        ));
+        o
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_stream() {
+        let text = stream_of(&[
+            snap(0, 1, 800).to_json_line(),
+            snap(1, 1, 1600).to_json_line(),
+            snap(0, 2, 2400).to_json_line(),
+            summary_line(3, &[(300, 2400), (200, 1600)]),
+        ]);
+        let s = validate_live_stream(&text).expect("valid stream");
+        assert_eq!(s.p, 2);
+        assert_eq!(s.snapshots, 3);
+        assert_eq!(s.msgs_sent_total, 500);
+        assert_eq!(s.bytes_sent_total, 4000);
+        assert_eq!(
+            s.final_per_pe[0].as_ref().map(|x| x.seq),
+            Some(2),
+            "latest snapshot wins"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_seq_regression_and_backwards_counters() {
+        let text = stream_of(&[
+            snap(0, 2, 800).to_json_line(),
+            snap(0, 1, 1600).to_json_line(),
+        ]);
+        let err = validate_live_stream(&text).expect_err("seq regressed");
+        assert!(err.contains("seq"), "{err}");
+
+        let mut shrunk = snap(0, 2, 400);
+        shrunk.resources.rss_peak_kb = 1; // below the seq-1 snapshot's peak
+        let text = stream_of(&[snap(0, 1, 800).to_json_line(), shrunk.to_json_line()]);
+        let err = validate_live_stream(&text).expect_err("counters shrank");
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn validate_requires_meta_and_summary() {
+        let err = validate_live_stream("").expect_err("empty");
+        assert!(err.contains("empty"), "{err}");
+        let text = stream_of(&[snap(0, 1, 800).to_json_line()]);
+        let err = validate_live_stream(&text).expect_err("no summary");
+        assert!(err.contains("summary"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_summary_totals() {
+        let text = stream_of(&[
+            snap(0, 1, 800).to_json_line(),
+            summary_line(1, &[(999, 999), (0, 0)]),
+        ]);
+        let err = validate_live_stream(&text).expect_err("bad totals");
+        assert!(err.contains("do not match"), "{err}");
+    }
+
+    #[test]
+    fn straggler_skew_blames_slowest_pe_above_floor() {
+        let latest = vec![
+            Some(snap(0, 5, 1 << 20)),
+            Some(snap(1, 5, 1 << 10)), // far behind, above min floor scale
+        ];
+        let fired = evaluate_alerts(&AlertRule::defaults(), &latest, 1234);
+        let skew = fired
+            .iter()
+            .find(|a| a.rule == "straggler-skew")
+            .expect("skew alert");
+        assert_eq!(skew.pe, 1);
+        assert!(skew.value > 4.0);
+        assert_eq!(skew.epoch_ns, 1234);
+        // Below the floor nothing fires.
+        let tiny = vec![Some(snap(0, 1, 64)), Some(snap(1, 1, 8))];
+        assert!(evaluate_alerts(&AlertRule::defaults(), &tiny, 0)
+            .iter()
+            .all(|a| a.rule != "straggler-skew"));
+        // Missing ranks: no verdict.
+        let partial = vec![Some(snap(0, 5, 1 << 20)), None];
+        assert!(evaluate_alerts(&AlertRule::defaults(), &partial, 0)
+            .iter()
+            .all(|a| a.rule != "straggler-skew"));
+    }
+
+    #[test]
+    fn imbalance_and_recovery_rules_fire_on_thresholds() {
+        let mut s0 = snap(0, 1, 1 << 20);
+        s0.last_imbalance = 0.5;
+        s0.recovery_attempts = 3;
+        let latest = vec![Some(s0), Some(snap(1, 1, 1 << 20))];
+        let fired = evaluate_alerts(&AlertRule::defaults(), &latest, 0);
+        assert!(fired.iter().any(|a| a.rule == "imbalance-drift"));
+        assert!(fired
+            .iter()
+            .any(|a| a.rule == "recovery-escalation" && a.value == 2.0));
+    }
+
+    #[test]
+    fn alert_line_parses_as_json() {
+        let a = AlertEvent {
+            rule: "straggler-skew".to_string(),
+            pe: 2,
+            value: 5.5,
+            threshold: 4.0,
+            epoch_ns: 77,
+        };
+        let v = JsonValue::parse(&a.to_json_line()).expect("parse");
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("alert"));
+        assert_eq!(v.get("pe").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn frames_round_trip_and_tolerate_truncation() {
+        let mut buf = Vec::new();
+        let a = snap(0, 1, 100).to_json_line();
+        let b = snap(0, 2, 200).to_json_line();
+        write_telemetry_frame(&mut buf, &a).expect("write");
+        write_telemetry_frame(&mut buf, &b).expect("write");
+        assert_eq!(read_telemetry_frames(&buf), vec![a.clone(), b.clone()]);
+        // Truncate mid-frame: the partial frame disappears, earlier ones
+        // survive (the SIGKILL case).
+        let cut = buf.len() - 5;
+        assert_eq!(read_telemetry_frames(&buf[..cut]), vec![a]);
+    }
+
+    #[test]
+    fn render_marks_the_straggler() {
+        let latest = vec![Some(snap(0, 1, 1 << 20)), Some(snap(1, 1, 1 << 10)), None];
+        let table = render_live_table(&latest);
+        assert!(table.contains("<- behind"));
+        assert!(table.contains("(no snapshot yet)"));
+        assert!(table.contains("vcycle/coarsen"));
+    }
+}

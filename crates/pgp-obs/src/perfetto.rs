@@ -111,6 +111,14 @@ pub fn to_perfetto_json(trace: &RunTrace) -> String {
                     };
                     push_event(&mut o, 'X', r, start, &name, &extra);
                 }
+                TraceEventKind::Alert { rule, value_milli } => {
+                    let name = format!("alert:{rule}");
+                    let extra = format!(
+                        ", \"cat\": \"alert\", \"s\": \"g\", \
+                         \"args\": {{\"value_milli\": {value_milli}}}"
+                    );
+                    push_event(&mut o, 'i', r, ev.ts_ns, &name, &extra);
+                }
                 TraceEventKind::Fault {
                     kind,
                     peer,

@@ -10,8 +10,10 @@
 use std::collections::BTreeMap;
 
 use crate::json::{push_json_str, JsonValue};
+use crate::live::AlertEvent;
 use crate::metrics::{LevelMetrics, RefineMetrics, TagCounter, WaitHistogram};
 use crate::recorder::PeState;
+use crate::resources::ResourceSample;
 
 /// Report schema version. Bump whenever the JSON shape changes (fields
 /// added/removed/renamed); the `schema_fingerprint` test guards this.
@@ -28,7 +30,14 @@ use crate::recorder::PeState;
 /// v4: top-level `backend` string naming the comm transport that carried
 /// the run ("threads" or "sockets", DESIGN.md §15). Cross-backend golden
 /// tests compare reports after normalizing this one field.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: per-PE `resources` block (current/peak RSS, thread-CPU seconds,
+/// allocation counters — the live telemetry plane's resource sample,
+/// DESIGN.md §16), aggregate `rss_peak_max_kb`/`thread_cpu_total_s`, and
+/// a top-level `alerts` array of live-monitor alert events. All of these
+/// are wall-clock observations: `to_json(true)` zeroes the resource
+/// fields and empties `alerts`, so golden comparisons are unaffected.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// A complete observed run: per-PE detail plus cross-PE aggregates.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +56,10 @@ pub struct RunReport {
     pub aggregate: Aggregate,
     /// Recovery-supervisor counters (all-zero when no supervisor ran).
     pub recovery: RecoveryReport,
+    /// Alert events fired by the live monitor, firing order. Empty when
+    /// no monitor ran; emptied by `to_json(true)` (alerts fire on
+    /// wall-clock skew, which is racy by nature).
+    pub alerts: Vec<AlertEvent>,
 }
 
 /// Counters from the recovery supervisor (`run_config_supervised`): how
@@ -130,6 +143,9 @@ pub struct PeReport {
     /// Span exits dropped because their name did not match the innermost
     /// open span. Always 0 for RAII-guarded instrumentation.
     pub orphan_exits: u64,
+    /// The PE's last resource sample (RSS, thread-CPU, allocation
+    /// counters). Wall-clock observations — zeroed by `to_json(true)`.
+    pub resources: ResourceSample,
 }
 
 /// One span path's aggregate timing.
@@ -244,6 +260,15 @@ pub struct Aggregate {
     pub final_cut: Option<u64>,
     /// Maximum imbalance over all recorded refinement passes (rank 0).
     pub max_imbalance: f64,
+    /// Largest per-PE peak RSS (KiB) — the number a semi-external run's
+    /// memory-budget proof cares about. On the threads backend all PEs
+    /// share one address space, so this is the process peak; on the
+    /// process backend it is a true per-PE maximum. Zeroed by
+    /// `to_json(true)`.
+    pub rss_peak_max_kb: u64,
+    /// Total thread-CPU seconds across the PE threads; zeroed by
+    /// `to_json(true)`.
+    pub thread_cpu_total_s: f64,
     /// Span aggregates summed across PEs, path ascending.
     pub phases: Vec<PhaseEntry>,
 }
@@ -251,15 +276,7 @@ pub struct Aggregate {
 impl PeReport {
     /// Converts a finished PE cell into its report form.
     pub(crate) fn from_state(rank: usize, st: &PeState) -> Self {
-        let tag_entries = |map: &BTreeMap<u64, TagCounter>| {
-            map.iter()
-                .map(|(&tag, c)| TagEntry {
-                    tag,
-                    msgs: c.msgs,
-                    bytes: c.bytes,
-                })
-                .collect()
-        };
+        let tag_entries = crate::recorder::tag_entries;
         PeReport {
             rank,
             phases: st
@@ -305,6 +322,7 @@ impl PeReport {
             levels: st.levels.clone(),
             refinements: st.refinements.clone(),
             orphan_exits: st.orphan_exits,
+            resources: st.resources,
         }
     }
 }
@@ -328,6 +346,8 @@ impl Aggregate {
                 agg.recv_wait_max_s = pe.comm.recv_wait_s;
                 agg.recv_wait_max_pe = pe.rank;
             }
+            agg.rss_peak_max_kb = agg.rss_peak_max_kb.max(pe.resources.rss_peak_kb);
+            agg.thread_cpu_total_s += pe.resources.thread_cpu_s;
             for e in &pe.comm.recv_wait_hist {
                 *merged_hist.buckets.entry(e.bucket).or_insert(0) += e.count;
                 merged_hist.count += e.count;
@@ -391,7 +411,23 @@ impl RunReport {
         self.aggregate.push_json(&mut o, z);
         o.push_str(",\n  \"recovery\": ");
         self.recovery.push_json(&mut o);
-        o.push_str("\n}\n");
+        // Alerts fire on wall-clock skew — racy, so a zero-timings
+        // report empties them wholesale like the wait histograms.
+        o.push_str(",\n  \"alerts\": [");
+        let alerts: &[AlertEvent] = if z { &[] } else { &self.alerts };
+        for (i, a) in alerts.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"rule\": ");
+            push_json_str(&mut o, &a.rule);
+            o.push_str(&format!(", \"pe\": {}, \"value\": ", a.pe));
+            push_f64(&mut o, a.value, false);
+            o.push_str(", \"threshold\": ");
+            push_f64(&mut o, a.threshold, false);
+            o.push_str(&format!(", \"epoch_ns\": {}}}", a.epoch_ns));
+        }
+        o.push_str(if alerts.is_empty() { "]\n" } else { "\n  ]\n" });
+        o.push('}');
+        o.push('\n');
         o
     }
 
@@ -468,6 +504,38 @@ impl RunReport {
         // (also zero) timings; keep whichever was serialized.
         aggregate.recv_wait_s = claimed_recv_wait;
         let recovery = RecoveryReport::from_json(v.get("recovery").ok_or("missing recovery")?)?;
+        let alerts = v
+            .get("alerts")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing alerts")?
+            .iter()
+            .map(|a| {
+                Ok(AlertEvent {
+                    rule: a
+                        .get("rule")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("alert missing rule")?
+                        .to_string(),
+                    pe: a
+                        .get("pe")
+                        .and_then(JsonValue::as_u64)
+                        .and_then(|x| usize::try_from(x).ok())
+                        .ok_or("alert missing pe")?,
+                    value: a
+                        .get("value")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("alert missing value")?,
+                    threshold: a
+                        .get("threshold")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("alert missing threshold")?,
+                    epoch_ns: a
+                        .get("epoch_ns")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("alert missing epoch_ns")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
         Ok(RunReport {
             schema_version: sv32,
             p: usize::try_from(p).map_err(|_| "p out of range")?,
@@ -475,6 +543,7 @@ impl RunReport {
             per_pe,
             aggregate,
             recovery,
+            alerts,
         })
     }
 
@@ -550,6 +619,13 @@ impl RunReport {
             levels: vec![LevelMetrics::default()],
             refinements: vec![RefineMetrics::default()],
             orphan_exits: 0,
+            resources: ResourceSample {
+                rss_current_kb: 1,
+                rss_peak_kb: 1,
+                thread_cpu_s: 1.0,
+                allocs: 1,
+                alloc_bytes: 1,
+            },
         }];
         let sample = RunReport {
             schema_version: SCHEMA_VERSION,
@@ -564,6 +640,13 @@ impl RunReport {
                 dead_ranks: vec![1],
                 lost_cycles: 1,
             },
+            alerts: vec![AlertEvent {
+                rule: "straggler-skew".to_string(),
+                pe: 1,
+                value: 1.0,
+                threshold: 1.0,
+                epoch_ns: 1,
+            }],
         };
         let json = sample.to_json(false);
         let v = JsonValue::parse(&json).expect("schema sample must parse");
@@ -719,7 +802,24 @@ impl PeReport {
         } else {
             "\n      ],\n"
         });
-        o.push_str(&format!("      \"orphan_exits\": {}\n", self.orphan_exits));
+        o.push_str(&format!("      \"orphan_exits\": {},\n", self.orphan_exits));
+        // The resource sample is pure wall-clock observation; a
+        // zero-timings report zeroes all five fields.
+        let r = if z {
+            ResourceSample::default()
+        } else {
+            self.resources
+        };
+        o.push_str(&format!(
+            "      \"resources\": {{\"rss_current_kb\": {}, \"rss_peak_kb\": {}, \
+             \"thread_cpu_s\": ",
+            r.rss_current_kb, r.rss_peak_kb
+        ));
+        push_f64(o, r.thread_cpu_s, z);
+        o.push_str(&format!(
+            ", \"allocs\": {}, \"alloc_bytes\": {}}}\n",
+            r.allocs, r.alloc_bytes
+        ));
         o.push_str("    }");
     }
 
@@ -905,6 +1005,24 @@ impl PeReport {
                 .get("orphan_exits")
                 .and_then(JsonValue::as_u64)
                 .ok_or("pe missing orphan_exits")?,
+            resources: {
+                let res = v.get("resources").ok_or("pe missing resources")?;
+                let ru = |k: &str| {
+                    res.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("resources missing {k}"))
+                };
+                ResourceSample {
+                    rss_current_kb: ru("rss_current_kb")?,
+                    rss_peak_kb: ru("rss_peak_kb")?,
+                    thread_cpu_s: res
+                        .get("thread_cpu_s")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("resources missing thread_cpu_s")?,
+                    allocs: ru("allocs")?,
+                    alloc_bytes: ru("alloc_bytes")?,
+                }
+            },
         })
     }
 }
@@ -937,6 +1055,11 @@ impl Aggregate {
         }
         o.push_str(",\n    \"max_imbalance\": ");
         push_f64(o, self.max_imbalance, false);
+        o.push_str(&format!(
+            ",\n    \"rss_peak_max_kb\": {}, \"thread_cpu_total_s\": ",
+            if z { 0 } else { self.rss_peak_max_kb }
+        ));
+        push_f64(o, self.thread_cpu_total_s, z);
         o.push_str(",\n    \"phases\": [");
         for (i, ph) in self.phases.iter().enumerate() {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -989,6 +1112,14 @@ mod tests {
             cut: 42,
             imbalance: 0.03,
         });
+        r0.sample_resources();
+        obs.record_alert(&AlertEvent {
+            rule: "straggler-skew".to_string(),
+            pe: 1,
+            value: 5.5,
+            threshold: 4.0,
+            epoch_ns: 123,
+        });
         obs.report()
     }
 
@@ -1007,7 +1138,7 @@ mod tests {
         let report = sample_report();
         let json = report.to_json(true);
         assert!(!json.contains("total_s\": 0."), "timings must be zeroed");
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"final_cut\": 42"));
         assert!(
             json.contains("\"imbalance\": 0.03"),
@@ -1018,6 +1149,14 @@ mod tests {
             "racy wait observations must be emptied: {json}"
         );
         assert!(json.contains("\"recv_wait_by_peer\": []"));
+        assert!(
+            json.contains("\"resources\": {\"rss_current_kb\": 0, \"rss_peak_kb\": 0"),
+            "resource samples must be zeroed: {json}"
+        );
+        assert!(
+            json.contains("\"alerts\": []") && json.contains("\"rss_peak_max_kb\": 0"),
+            "alerts/resource aggregates must be emptied: {json}"
+        );
     }
 
     #[test]
@@ -1035,7 +1174,7 @@ mod tests {
         let report = sample_report();
         let json = report
             .to_json(true)
-            .replace("\"schema_version\": 4", "\"schema_version\": 999");
+            .replace("\"schema_version\": 5", "\"schema_version\": 999");
         let err = RunReport::from_json(&json).expect_err("must reject");
         assert!(err.contains("schema version"), "{err}");
     }
@@ -1106,6 +1245,14 @@ mod tests {
             "aggregate.recv_wait_p95_s",
             "aggregate.recv_wait_p99_s",
             "aggregate.recv_wait_s",
+            "aggregate.rss_peak_max_kb",
+            "aggregate.thread_cpu_total_s",
+            "alerts",
+            "alerts[].epoch_ns",
+            "alerts[].pe",
+            "alerts[].rule",
+            "alerts[].threshold",
+            "alerts[].value",
             "backend",
             "p",
             "per_pe",
@@ -1153,6 +1300,12 @@ mod tests {
             "per_pe[].refinements[].cycle",
             "per_pe[].refinements[].imbalance",
             "per_pe[].refinements[].level",
+            "per_pe[].resources",
+            "per_pe[].resources.alloc_bytes",
+            "per_pe[].resources.allocs",
+            "per_pe[].resources.rss_current_kb",
+            "per_pe[].resources.rss_peak_kb",
+            "per_pe[].resources.thread_cpu_s",
             "recovery",
             "recovery.attempts",
             "recovery.dead_ranks",
@@ -1161,7 +1314,7 @@ mod tests {
             "recovery.retries",
             "schema_version",
         ];
-        assert_eq!(SCHEMA_VERSION, 4, "bumped version: update the golden list");
+        assert_eq!(SCHEMA_VERSION, 5, "bumped version: update the golden list");
         assert_eq!(
             RunReport::schema_fingerprint(),
             expected,

@@ -30,11 +30,15 @@
 //!    code consulting the fault oracle would let injected faults leak into
 //!    program logic, silently turning chaos tests into self-fulfilling
 //!    prophecies.
-//! 7. **instant-now** — raw `Instant::now()` in the instrumented crates
-//!    (`crates/{core,pgp-dmp,pgp-lp,pgp-obs}/src`) is forbidden (ISSUE 4):
-//!    phase timing must go through the `pgp-obs` Recorder spans so every
-//!    timer lands in the run report and is zeroable for golden comparisons.
-//!    The watchdog-deadline sites in `comm.rs` and the annotated
+//! 7. **instant-now** — raw `Instant::now()` and `SystemTime::now()` in
+//!    the instrumented crates (`crates/{core,pgp-dmp,pgp-lp,pgp-obs}/src`)
+//!    are forbidden (ISSUE 4): phase timing must go through the `pgp-obs`
+//!    Recorder spans so every timer lands in the run report and is
+//!    zeroable for golden comparisons, and the live telemetry plane
+//!    (ISSUE 10) must stamp snapshots from the registry's monotonic
+//!    epoch — a wall clock in a snapshot would make streams
+//!    non-reproducible and skew straggler math across PEs. The
+//!    watchdog-deadline sites in `comm.rs` and the annotated
 //!    recorder/epoch sites inside `pgp-obs` itself (ISSUE 5 trace
 //!    timestamps) are the sanctioned exceptions, marked
 //!    `// lint:instant-ok: <reason>`.
@@ -218,6 +222,9 @@ const REGRESS_METRICS: &[(&str, bool)] = &[
     ("exchange.updates_per_s", true),
     // Disabled-recorder overhead gate: tracing off must stay a branch.
     ("obs.ping_disabled_msgs_per_s", true),
+    // Live-telemetry overhead gate: recording + snapshot publication
+    // under a polling monitor must not collapse ping throughput.
+    ("obs.ping_live_msgs_per_s", true),
     ("sclp.cluster_round_s", false),
     ("sclp.refine_round_s", false),
     // Worker-pool cluster round at threads_per_pe = 4 and the fixed
@@ -604,16 +611,23 @@ fn apply_rules(
         }
     }
 
-    // Rule 7: raw Instant::now() in the instrumented crates.
-    if instant_restricted && code.contains("Instant::now") && !raw_line.contains("lint:instant-ok")
+    // Rule 7: raw clock reads in the instrumented crates. Instant::now()
+    // bypasses the Recorder span seam; SystemTime::now() is worse — a
+    // wall-clock stamp in a metric snapshot or trace event breaks replay
+    // determinism outright (the live telemetry plane stamps snapshots
+    // from the registry's monotonic epoch instead).
+    if instant_restricted
+        && (code.contains("Instant::now") || code.contains("SystemTime::now"))
+        && !raw_line.contains("lint:instant-ok")
     {
         violations.push(Violation {
             file: file.to_path_buf(),
             line: lineno,
             rule: "instant-now",
-            message: "raw Instant::now() in an instrumented crate; phase timing must go \
-                      through the pgp-obs Recorder spans (justify non-metric timers with \
-                      `// lint:instant-ok: <reason>`)"
+            message: "raw Instant::now()/SystemTime::now() in an instrumented crate; phase \
+                      timing must go through the pgp-obs Recorder spans and telemetry \
+                      timestamps through the registry epoch (justify non-metric timers \
+                      with `// lint:instant-ok: <reason>`)"
                 .to_string(),
         });
     }
@@ -855,6 +869,35 @@ mod tests {
         scan_file(
             Path::new("crates/bench/src/main.rs"),
             "crates/bench/src/main.rs",
+            src,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "instant-now"), "must pass");
+    }
+
+    #[test]
+    fn wall_clock_reads_flagged_in_telemetry_code() {
+        // The live telemetry plane must stamp snapshots from the
+        // registry's monotonic epoch; a SystemTime read in pgp-obs (or
+        // any instrumented crate) trips rule 7 like a raw Instant.
+        let src = "fn f() -> u64 { stamp(SystemTime::now()) }\n\
+                   fn g() { let t = SystemTime::now(); } // lint:instant-ok: NDJSON file mtime\n";
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("crates/pgp-obs/src/live.rs"),
+            "crates/pgp-obs/src/live.rs",
+            src,
+            &mut v,
+        );
+        let hits: Vec<_> = v.iter().filter(|x| x.rule == "instant-now").collect();
+        assert_eq!(hits.len(), 1, "exactly the unescaped line");
+        assert_eq!(hits[0].line, 1);
+        // CLI front-ends (pgp-top's follow loop) live outside the
+        // instrumented prefixes and may read whatever clock they like.
+        let mut v = Vec::new();
+        scan_file(
+            Path::new("src/bin/pgp-top.rs"),
+            "src/bin/pgp-top.rs",
             src,
             &mut v,
         );

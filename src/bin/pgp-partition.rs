@@ -32,6 +32,16 @@
 //! (DESIGN.md §11) — open at <https://ui.perfetto.dev> to see one track
 //! per PE with spans, collectives, receive waits, and send→recv flows.
 //!
+//! `--telemetry <file.ndjson>` (or `telemetry=<file>`) streams live
+//! per-PE metric snapshots to the file as NDJSON while the run is in
+//! flight (DESIGN.md §16): one `meta` line, then `snapshot`/`alert`
+//! lines as PEs cross phase boundaries, then a final `summary` whose
+//! aggregates exactly match the run report's counters. `--monitor` (or
+//! `monitor=1`) additionally renders a live per-PE straggler table to
+//! stderr (use `pgp-top --follow <file>` to watch from another
+//! terminal, or `pgp-top --validate <file>` to check a finished
+//! stream).
+//!
 //! `--recover` (or `recover=1`) runs under the automatic-recovery
 //! supervisor (DESIGN.md §14): V-cycle boundaries are checkpointed every
 //! `checkpoint-every=<n>` cycles (default 1), confirmed PE deaths trigger
@@ -42,8 +52,8 @@
 //! run report's `recovery` block.
 
 use pgp::parhip::{
-    partition_parallel, partition_parallel_observed, partition_parallel_supervised,
-    partition_parallel_traced, CheckpointPolicy, GraphClass, ParhipConfig, Preset, RecoveryLimits,
+    partition_parallel, partition_parallel_supervised, partition_parallel_with_obs,
+    CheckpointPolicy, GraphClass, ParhipConfig, Preset, RecoveryLimits,
 };
 use pgp::pgp_graph::io::{read_metis_file, write_partition};
 use pgp::pgp_graph::stats::GraphStats;
@@ -52,6 +62,42 @@ use std::process::ExitCode;
 fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .find_map(|a| a.strip_prefix(&format!("{key}=")).map(|v| v.to_string()))
+}
+
+/// Enables live publication on `obs` and spawns the aggregating monitor:
+/// NDJSON to `telemetry_path` (or discarded when only the table was
+/// asked for), straggler table to stderr when `render` is set.
+fn start_monitor(
+    obs: &std::sync::Arc<pgp::pgp_obs::Obs>,
+    telemetry_path: Option<&str>,
+    render: bool,
+) -> std::io::Result<pgp::pgp_obs::LiveMonitor> {
+    obs.enable_live();
+    let out: Box<dyn std::io::Write + Send> = match telemetry_path {
+        Some(path) => Box::new(std::fs::File::create(path)?),
+        None => Box::new(std::io::sink()),
+    };
+    let cfg = pgp::pgp_obs::LiveMonitorConfig {
+        render,
+        ..Default::default()
+    };
+    pgp::pgp_obs::LiveMonitor::spawn(std::sync::Arc::clone(obs), cfg, out)
+}
+
+/// Stops the monitor (final slot sweep + `summary` line) and reports
+/// what it streamed.
+fn finish_monitor(monitor: pgp::pgp_obs::LiveMonitor, telemetry_path: Option<&str>) {
+    match monitor.finish() {
+        Ok(stats) => {
+            if let Some(path) = telemetry_path {
+                eprintln!(
+                    "wrote telemetry {path}: {} snapshot(s), {} alert(s)",
+                    stats.snapshots, stats.alerts
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: telemetry stream failed: {e}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -65,6 +111,7 @@ fn main() -> ExitCode {
         "threads-per-pe",
         "max-retries",
         "checkpoint-every",
+        "telemetry",
     ] {
         if let Some(i) = args.iter().position(|a| a == &format!("--{flag}")) {
             if i + 1 >= args.len() {
@@ -75,16 +122,20 @@ fn main() -> ExitCode {
             args[i] = format!("{flag}={flag_value}");
         }
     }
-    // `--recover` is a boolean switch, not a value flag.
+    // `--recover` and `--monitor` are boolean switches, not value flags.
     if let Some(i) = args.iter().position(|a| a == "--recover") {
         args[i] = "recover=1".to_string();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--monitor") {
+        args[i] = "monitor=1".to_string();
     }
     let Some(path) = args.iter().find(|a| !a.contains('=')) else {
         eprintln!(
             "usage: pgp-partition <graph.metis> k=<blocks> [preset=fast|eco|minimal] \
              [p=<PEs>] [eps=0.03] [seed=0] [class=auto|social|mesh] \
              [backend=threads|sockets] [threads-per-pe=<n>] [output=<file>] \
-             [report=<file.json>] [trace=<file.json>] [--recover] \
+             [report=<file.json>] [trace=<file.json>] \
+             [telemetry=<file.ndjson>] [--monitor] [--recover] \
              [max-retries=<n>] [checkpoint-every=<n>]"
         );
         return ExitCode::from(2);
@@ -168,6 +219,9 @@ fn main() -> ExitCode {
     cfg.checkpoint = CheckpointPolicy::every(checkpoint_every);
     let report_path = arg(&args, "report");
     let trace_path = arg(&args, "trace");
+    let telemetry_path = arg(&args, "telemetry");
+    let monitor_on = arg(&args, "monitor").is_some_and(|v| v != "0");
+    let live = telemetry_path.is_some() || monitor_on;
     let t0 = std::time::Instant::now();
     let (partition, stats) = if recover {
         let obs = if trace_path.is_some() {
@@ -175,10 +229,23 @@ fn main() -> ExitCode {
                 p,
                 pgp::pgp_obs::DEFAULT_TRACE_CAPACITY,
             ))
-        } else if report_path.is_some() {
+        } else if report_path.is_some() || live {
             Some(pgp::pgp_obs::Obs::new(p))
         } else {
             None
+        };
+        let monitor = match &obs {
+            Some(obs) if live => {
+                obs.set_backend(backend.name());
+                match start_monitor(obs, telemetry_path.as_deref(), monitor_on) {
+                    Ok(m) => Some(m),
+                    Err(e) => {
+                        eprintln!("error starting telemetry stream: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => None,
         };
         let run = pgp::pgp_dmp::RunConfig {
             backend: cfg.backend,
@@ -206,6 +273,12 @@ fn main() -> ExitCode {
             recovery.dead_ranks,
             recovery.lost_cycles
         );
+        // Stop the monitor before assembling the report so every alert
+        // it raised (including ones from the final slot sweep) is in the
+        // report's `alerts` block.
+        if let Some(monitor) = monitor {
+            finish_monitor(monitor, telemetry_path.as_deref());
+        }
         if let Some(obs) = &obs {
             if let Some(trace_path) = &trace_path {
                 let trace = obs.trace().expect("registry was built with tracing on");
@@ -224,28 +297,47 @@ fn main() -> ExitCode {
             }
         }
         (partition, stats)
-    } else if let Some(trace_path) = &trace_path {
-        let (partition, stats, report, trace) = partition_parallel_traced(&graph, p, &cfg, None);
-        if let Err(e) = std::fs::write(trace_path, pgp::pgp_obs::to_perfetto_json(&trace)) {
-            eprintln!("error writing {trace_path}: {e}");
-            return ExitCode::FAILURE;
+    } else if live || trace_path.is_some() || report_path.is_some() {
+        let obs = if trace_path.is_some() {
+            pgp::pgp_obs::Obs::with_trace(p, pgp::pgp_obs::DEFAULT_TRACE_CAPACITY)
+        } else {
+            pgp::pgp_obs::Obs::new(p)
+        };
+        let monitor = if live {
+            obs.set_backend(backend.name());
+            match start_monitor(&obs, telemetry_path.as_deref(), monitor_on) {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    eprintln!("error starting telemetry stream: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
+        let (partition, stats) =
+            partition_parallel_with_obs(&graph, p, &cfg, std::sync::Arc::clone(&obs));
+        // Monitor first (final slot sweep + summary line), then the
+        // report, so streamed aggregates and report counters agree and
+        // every alert is in both.
+        if let Some(monitor) = monitor {
+            finish_monitor(monitor, telemetry_path.as_deref());
         }
-        eprintln!("wrote trace {trace_path}");
+        if let Some(trace_path) = &trace_path {
+            let trace = obs.trace().expect("registry was built with tracing on");
+            if let Err(e) = std::fs::write(trace_path, pgp::pgp_obs::to_perfetto_json(&trace)) {
+                eprintln!("error writing {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote trace {trace_path}");
+        }
         if let Some(report_path) = &report_path {
-            if let Err(e) = std::fs::write(report_path, report.to_json(false)) {
+            if let Err(e) = std::fs::write(report_path, obs.report().to_json(false)) {
                 eprintln!("error writing {report_path}: {e}");
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote run report {report_path}");
         }
-        (partition, stats)
-    } else if let Some(report_path) = &report_path {
-        let (partition, stats, report) = partition_parallel_observed(&graph, p, &cfg);
-        if let Err(e) = std::fs::write(report_path, report.to_json(false)) {
-            eprintln!("error writing {report_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote run report {report_path}");
         (partition, stats)
     } else {
         partition_parallel(&graph, p, &cfg)

@@ -1,0 +1,156 @@
+//! Live telemetry viewer and stream checker for the ParHIP pipeline
+//! (DESIGN.md §16).
+//!
+//! ```text
+//! pgp-top --follow <file.ndjson> [--interval-ms 200]
+//! pgp-top --validate <file.ndjson> [--report <report.json>] [--min-snapshots <n>]
+//! ```
+//!
+//! `--follow` tails an NDJSON telemetry stream being written by a
+//! concurrent `pgp-partition --telemetry <file>` (or `bench partition
+//! telemetry=<file>`) run and repaints a per-PE straggler table until
+//! the stream's `summary` line arrives. `--validate` checks a finished
+//! stream — meta line first, per-rank sequence and counter monotonicity,
+//! summary totals — and, given the run's JSON report, that the stream's
+//! final aggregates exactly match the report's per-PE comm counters (the
+//! conservation contract CI's live-monitor smoke job enforces). Exits
+//! nonzero on any violation.
+
+use pgp::pgp_obs::{
+    check_stream_matches_report, render_live_table, validate_live_stream, JsonValue,
+    MetricSnapshot, RunReport,
+};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn value_arg(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pgp-top --follow <file.ndjson> [--interval-ms <n>]\n\
+         \x20      pgp-top --validate <file.ndjson> [--report <report.json>] \
+         [--min-snapshots <n>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = value_arg(&args, "--follow") {
+        let interval = value_arg(&args, "--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        follow(&path, Duration::from_millis(interval))
+    } else if let Some(path) = value_arg(&args, "--validate") {
+        validate(
+            &path,
+            value_arg(&args, "--report").as_deref(),
+            value_arg(&args, "--min-snapshots").and_then(|v| v.parse().ok()),
+        )
+    } else {
+        usage()
+    }
+}
+
+/// Tails the stream file, keeping each rank's latest snapshot and
+/// repainting the table, until the writer's `summary` line lands (or the
+/// user interrupts). Tolerates the file not existing yet — a follower is
+/// typically started moments before the partitioner.
+fn follow(path: &str, interval: Duration) -> ExitCode {
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let mut p = 0usize;
+        let mut done = false;
+        let mut latest: Vec<Option<MetricSnapshot>> = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(v) = JsonValue::parse(line) else {
+                continue; // torn tail of an in-flight write
+            };
+            match v.get("type").and_then(JsonValue::as_str) {
+                Some("meta") => {
+                    p = v
+                        .get("p")
+                        .and_then(JsonValue::as_u64)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .unwrap_or(0);
+                    latest.resize(p, None);
+                }
+                Some("snapshot") => {
+                    if let Ok(snap) = MetricSnapshot::from_json_line(line) {
+                        let rank = snap.rank;
+                        if rank < latest.len() {
+                            latest[rank] = Some(snap);
+                        }
+                    }
+                }
+                Some("summary") => done = true,
+                _ => {}
+            }
+        }
+        // ANSI clear + home, like `top`.
+        if p > 0 {
+            eprint!("\x1b[2J\x1b[H{}", render_live_table(&latest));
+        } else {
+            eprintln!("waiting for {path} ...");
+        }
+        if done {
+            eprintln!("stream complete.");
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Validates a finished stream (and optionally its run report); prints
+/// what was checked and exits nonzero on the first violation.
+fn validate(path: &str, report_path: Option<&str>, min_snapshots: Option<u64>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_live_stream(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid telemetry stream {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{path}: valid stream, p = {}, backend = {}, {} snapshot(s), {} alert(s)",
+        summary.p, summary.backend, summary.snapshots, summary.alerts
+    );
+    if let Some(min) = min_snapshots {
+        if summary.snapshots < min {
+            eprintln!(
+                "error: {} snapshot(s) < required minimum {min}",
+                summary.snapshots
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(report_path) = report_path {
+        let report = match std::fs::read_to_string(report_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| RunReport::from_json(&t))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error reading report {report_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = check_stream_matches_report(&summary, &report) {
+            eprintln!("stream/report mismatch: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("stream aggregates match {report_path} exactly");
+    }
+    ExitCode::SUCCESS
+}
